@@ -1,0 +1,42 @@
+GO ?= go
+
+.PHONY: all build test test-short bench repro repro-verify fuzz vet fmt cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Regenerate every paper table/figure as benchmarks (deliverable d).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Print every reproduced artifact (E1-E19).
+repro:
+	$(GO) run ./cmd/rtexp
+
+# Machine-check every artifact against its acceptance criteria.
+repro-verify:
+	$(GO) run ./cmd/rtexp -verify
+
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/config
+	$(GO) test -fuzz FuzzValidateBody -fuzztime 30s ./internal/task
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

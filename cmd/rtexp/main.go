@@ -1,0 +1,78 @@
+// Command rtexp regenerates every table and figure of the paper's
+// evaluation (the per-experiment index of DESIGN.md). With no flags it
+// runs everything in paper order.
+//
+// Usage:
+//
+//	rtexp [-run E6] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mpcp/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rtexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rtexp", flag.ContinueOnError)
+	var (
+		only   = fs.String("run", "", "run only this experiment (e.g. E6); default all")
+		list   = fs.Bool("list", false, "list experiments and exit")
+		asCSV  = fs.Bool("csv", false, "emit CSV instead of formatted tables")
+		verify = fs.Bool("verify", false, "check each artifact against its acceptance criteria and print PASS/FAIL")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Fprintln(out, e.ID)
+		}
+		return nil
+	}
+
+	ran, failed := 0, 0
+	for _, e := range all {
+		if *only != "" && !strings.EqualFold(e.ID, *only) {
+			continue
+		}
+		t, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		switch {
+		case *verify:
+			if err := experiments.Verify(t); err != nil {
+				fmt.Fprintf(out, "FAIL %-4s %s: %v\n", t.ID, t.Title, err)
+				failed++
+			} else {
+				fmt.Fprintf(out, "PASS %-4s %s\n", t.ID, t.Title)
+			}
+		case *asCSV:
+			fmt.Fprintf(out, "# %s: %s\n%s\n", t.ID, t.Title, t.RenderCSV())
+		default:
+			fmt.Fprintln(out, t.Render())
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment named %q", *only)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d artifacts failed verification", failed, ran)
+	}
+	return nil
+}

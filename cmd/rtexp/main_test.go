@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, id := range []string{"E1", "E6", "E13", "E19"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E4"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Table 4-1") {
+		t.Error("E4 table missing")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E5", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "task,semaphore") {
+		t.Errorf("CSV header missing:\n%s", out.String())
+	}
+}
+
+func TestRunVerifySingle(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E1", "-verify"}, &out); err != nil {
+		t.Fatalf("verification failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS E1") {
+		t.Error("PASS line missing")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

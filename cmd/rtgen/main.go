@@ -1,0 +1,59 @@
+// Command rtgen emits a random workload (see internal/workload) as a JSON
+// description consumable by rtsim and rtsched, so sweeps can be scripted
+// outside Go.
+//
+// Usage:
+//
+//	rtgen -seed 7 -procs 4 -tasks 4 -util 0.5 > system.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mpcp/internal/config"
+	"mpcp/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rtgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rtgen", flag.ContinueOnError)
+	var (
+		seed    = fs.Int64("seed", 1, "random seed")
+		procs   = fs.Int("procs", 4, "number of processors")
+		tasks   = fs.Int("tasks", 4, "tasks per processor")
+		util    = fs.Float64("util", 0.5, "utilization target per processor")
+		globals = fs.Int("globals", 3, "number of global semaphores")
+		locals  = fs.Int("locals", 2, "local semaphores per processor")
+		csMin   = fs.Int("cs-min", 2, "minimum critical section length (ticks)")
+		csMax   = fs.Int("cs-max", 6, "maximum critical section length (ticks)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := workload.Default(*seed)
+	cfg.NumProcs = *procs
+	cfg.TasksPerProc = *tasks
+	cfg.UtilPerProc = *util
+	cfg.GlobalSems = *globals
+	cfg.LocalSemsPerProc = *locals
+	cfg.CSTicks = [2]int{*csMin, *csMax}
+
+	sys, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(config.FromSystem(sys))
+}

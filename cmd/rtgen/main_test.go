@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mpcp/internal/config"
+)
+
+func TestRunEmitsLoadableConfig(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-seed", "9", "-procs", "3", "-tasks", "2", "-util", "0.4"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sys, err := config.Parse(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("generated config does not parse: %v", err)
+	}
+	if sys.NumProcs != 3 || len(sys.Tasks) != 6 {
+		t.Errorf("shape: procs=%d tasks=%d, want 3 and 6", sys.NumProcs, len(sys.Tasks))
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-seed", "5"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("identical seeds emitted different configs")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-util", "2.0"}, &out); err == nil {
+		t.Error("invalid utilization accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

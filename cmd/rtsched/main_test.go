@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const cfgPath = "../../testdata/avionics.json"
+
+func TestRunMPCP(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-config", cfgPath}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"analysis: mpcp", "Theorem 3", "response-time iteration", "B/T"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunDPCP(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-config", cfgPath, "-kind", "dpcp"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "analysis: dpcp") {
+		t.Error("dpcp analysis not reported")
+	}
+}
+
+func TestRunCeilings(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-config", cfgPath, "-ceilings"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"P_H", "P_G", "semaphore ceilings", "gcs execution priorities"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -config accepted")
+	}
+	if err := run([]string{"-config", cfgPath, "-kind", "bogus"}, &out); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-config", cfgPath, "-explain", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Worst-case blocking of task 2", "Local blocking", "Deferred-execution"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explanation missing %q", want)
+		}
+	}
+}
+
+func TestRunExplainUnknown(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-config", cfgPath, "-explain", "42"}, &out); err == nil {
+		t.Error("unknown task accepted for -explain")
+	}
+}
+
+func TestRunHyperbolic(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-config", cfgPath, "-hyperbolic"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hyperbolic test") {
+		t.Error("hyperbolic verdict missing")
+	}
+}

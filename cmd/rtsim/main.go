@@ -1,0 +1,140 @@
+// Command rtsim simulates a workload (JSON description, see
+// internal/config) under a chosen synchronization protocol and reports
+// per-task statistics, optionally with a Gantt chart and event log.
+//
+// Usage:
+//
+//	rtsim -config system.json [-protocol mpcp] [-horizon N] [-gantt] [-events] [-gantt-to N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"mpcp/internal/cli"
+	"mpcp/internal/config"
+	"mpcp/internal/sim"
+	"mpcp/internal/task"
+	"mpcp/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rtsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rtsim", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "path to the JSON workload description (required)")
+		protoName  = fs.String("protocol", "mpcp", "protocol: "+cli.ProtocolNames)
+		horizon    = fs.Int("horizon", 0, "ticks to simulate (0 = one hyperperiod)")
+		gantt      = fs.Bool("gantt", false, "print a per-processor execution chart")
+		ganttTo    = fs.Int("gantt-to", 60, "last tick of the chart")
+		events     = fs.Bool("events", false, "print the full event log")
+		checks     = fs.Bool("check", true, "verify mutual exclusion and gcs-preemption invariants")
+		traceOut   = fs.String("trace-out", "", "write the trace as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" {
+		return fmt.Errorf("missing -config")
+	}
+
+	sys, err := config.Load(*configPath)
+	if err != nil {
+		return err
+	}
+	p, err := cli.ProtocolByName(*protoName)
+	if err != nil {
+		return err
+	}
+
+	log := trace.New()
+	engine, err := sim.New(sys, p, sim.Config{Horizon: *horizon, Trace: log})
+	if err != nil {
+		return err
+	}
+	res, err := engine.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "protocol: %s   horizon: %d ticks   procs: %d   tasks: %d\n\n",
+		res.Protocol, res.Horizon, sys.NumProcs, len(sys.Tasks))
+
+	fmt.Fprintf(out, "%-6s %-10s %-5s %-7s %-5s %-9s %-9s %-8s %-8s %-7s\n",
+		"task", "name", "proc", "period", "jobs", "missed", "maxResp", "avgResp", "maxB", "deadl?")
+	ids := make([]int, 0, len(res.Stats))
+	for id := range res.Stats {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, idInt := range ids {
+		id := task.ID(idInt)
+		tk := sys.TaskByID(id)
+		st := res.Stats[id]
+		ok := "ok"
+		if st.Missed > 0 {
+			ok = "MISS"
+		}
+		fmt.Fprintf(out, "%-6d %-10s %-5d %-7d %-5d %-9d %-9d %-8.1f %-8d %-7s\n",
+			idInt, tk.Name, tk.Proc, tk.Period, st.Finished, st.Missed,
+			st.MaxResponse, st.AvgResponse(), st.MaxMeasuredB, ok)
+	}
+
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "%-6s %-8s %-8s %-8s %-8s %-12s\n", "proc", "busy", "idle", "gcs", "preempt", "utilization")
+	for i, ps := range res.Procs {
+		fmt.Fprintf(out, "P%-5d %-8d %-8d %-8d %-8d %-12.2f\n",
+			i, ps.BusyTicks, ps.IdleTicks, ps.GcsTicks, ps.Preemptions, ps.Utilization())
+	}
+
+	if res.Deadlock {
+		fmt.Fprintf(out, "\nDEADLOCK detected at t=%d\n", res.DeadlockAt)
+	}
+
+	if *checks {
+		bad := false
+		for _, v := range trace.CheckMutex(log) {
+			fmt.Fprintln(out, "mutex violation:", v)
+			bad = true
+		}
+		for _, v := range trace.CheckGcsPreemption(log, sys.NumProcs) {
+			fmt.Fprintln(out, "gcs-preemption violation:", v)
+			bad = true
+		}
+		if !bad {
+			fmt.Fprintln(out, "\ninvariants: mutual exclusion ok, gcs never preempted by non-critical code")
+		}
+	}
+
+	if *gantt {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, log.Gantt(sys, 0, *ganttTo))
+	}
+	if *events {
+		fmt.Fprintln(out)
+		for _, e := range log.Events {
+			fmt.Fprintln(out, e)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := log.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ntrace written to %s\n", *traceOut)
+	}
+	return nil
+}

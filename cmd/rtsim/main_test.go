@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cfgPath = "../../testdata/avionics.json"
+
+func TestRunBasic(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-config", cfgPath}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"protocol: mpcp", "inner-loop", "invariants", "utilization"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "MISS") {
+		t.Error("unexpected deadline miss in the sample workload")
+	}
+}
+
+func TestRunAllProtocols(t *testing.T) {
+	for _, p := range []string{"mpcp", "mpcp-spin", "mpcp-fifo", "mpcp-ceil", "dpcp", "none", "none-prio", "inherit"} {
+		var out strings.Builder
+		if err := run([]string{"-config", cfgPath, "-protocol", p}, &out); err != nil {
+			t.Errorf("protocol %s: %v", p, err)
+		}
+	}
+}
+
+func TestRunGanttAndEvents(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-config", cfgPath, "-gantt", "-gantt-to", "20", "-events"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "P0") || !strings.Contains(out.String(), "release") {
+		t.Error("gantt or event log missing")
+	}
+}
+
+func TestRunTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	var out strings.Builder
+	if err := run([]string{"-config", cfgPath, "-trace-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"events"`) {
+		t.Error("trace file malformed")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -config accepted")
+	}
+	if err := run([]string{"-config", "/nonexistent.json"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-config", cfgPath, "-protocol", "bogus"}, &out); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// Command rttrace renders a trace previously written by rtsim -trace-out
+// (or mpcp.WriteTraceJSON): a per-processor Gantt chart, invariant
+// checks, and optionally the raw event log.
+//
+// Usage:
+//
+//	rttrace -config system.json -trace run.json [-from 0] [-to 60] [-events]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mpcp/internal/config"
+	"mpcp/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rttrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rttrace", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "JSON workload the trace was produced from (required)")
+		tracePath  = fs.String("trace", "", "JSON trace file (required)")
+		from       = fs.Int("from", 0, "first tick of the chart")
+		to         = fs.Int("to", 0, "last tick of the chart (0 = trace horizon)")
+		events     = fs.Bool("events", false, "print the event log")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" || *tracePath == "" {
+		return fmt.Errorf("missing -config or -trace")
+	}
+
+	sys, err := config.Load(*configPath)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := trace.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "trace: %d events, %d execution ticks, horizon %d\n\n",
+		len(log.Events), len(log.Execs), log.Horizon())
+	fmt.Fprint(out, log.Summary())
+	fmt.Fprintln(out)
+	fmt.Fprint(out, log.Gantt(sys, *from, *to))
+
+	bad := false
+	for _, v := range trace.CheckMutex(log) {
+		fmt.Fprintln(out, "mutex violation:", v)
+		bad = true
+	}
+	for _, v := range trace.CheckGcsPreemption(log, sys.NumProcs) {
+		fmt.Fprintln(out, "gcs-preemption violation:", v)
+		bad = true
+	}
+	if !bad {
+		fmt.Fprintln(out, "\ninvariants: mutual exclusion ok, gcs never preempted by non-critical code")
+	}
+
+	if *events {
+		fmt.Fprintln(out)
+		for _, e := range log.Events {
+			fmt.Fprintln(out, e)
+		}
+	}
+	return nil
+}

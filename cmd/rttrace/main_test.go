@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpcp/internal/config"
+	"mpcp/internal/core"
+	"mpcp/internal/sim"
+	"mpcp/internal/trace"
+)
+
+const cfgPath = "../../testdata/avionics.json"
+
+// writeTrace simulates the sample workload and writes its trace JSON.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	sys, err := config.Load(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := trace.New()
+	e, err := sim.New(sys, core.New(core.Options{}), sim.Config{Horizon: 200, Trace: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := log.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRendersTrace(t *testing.T) {
+	tracePath := writeTrace(t)
+	var out strings.Builder
+	if err := run([]string{"-config", cfgPath, "-trace", tracePath, "-to", "30"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"trace:", "exec ticks", "P0", "invariants"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunEvents(t *testing.T) {
+	tracePath := writeTrace(t)
+	var out strings.Builder
+	if err := run([]string{"-config", cfgPath, "-trace", tracePath, "-events"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "release") {
+		t.Error("event log missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := run([]string{"-config", cfgPath, "-trace", "/nonexistent.json"}, &out); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module mpcp
+
+go 1.22

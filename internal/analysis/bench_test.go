@@ -1,0 +1,64 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mpcp/internal/analysis"
+	"mpcp/internal/task"
+	"mpcp/internal/workload"
+)
+
+func benchSys(b *testing.B) *task.System {
+	b.Helper()
+	sys, err := workload.Generate(workload.Default(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func BenchmarkMPCPBounds(b *testing.B) {
+	sys := benchSys(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Bounds(sys, analysis.Options{Kind: analysis.KindMPCP}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDPCPBounds(b *testing.B) {
+	sys := benchSys(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Bounds(sys, analysis.Options{Kind: analysis.KindDPCP}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHybridBounds(b *testing.B) {
+	sys := benchSys(b)
+	remote := map[task.SemID]bool{1: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.HybridBounds(sys, analysis.HybridOptions{Remote: remote}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExplain(b *testing.B) {
+	sys := benchSys(b)
+	id := sys.Tasks[0].ID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Explain(sys, id, analysis.Options{DeferredPenalty: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,518 @@
+// Package analysis implements the schedulability side of the paper: the
+// five worst-case blocking factors of Section 5.1, the deferred-execution
+// penalty, the per-processor rate-monotonic schedulability condition of
+// Theorem 3, and a response-time iteration refinement. A parallel set of
+// bounds for the message-based protocol of [8] supports the Section 5.2
+// comparison.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mpcp/internal/ceiling"
+	"mpcp/internal/task"
+)
+
+// Kind selects which protocol's bounds to compute.
+type Kind int
+
+// Supported protocols.
+const (
+	KindMPCP Kind = iota + 1
+	KindDPCP
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindMPCP:
+		return "mpcp"
+	case KindDPCP:
+		return "dpcp"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// Kind selects the protocol; default KindMPCP.
+	Kind Kind
+
+	// GcsAtCeiling mirrors the protocol option of the same name: gcs
+	// execution priorities equal the full global ceiling. It affects
+	// factor 4 (which gcs's can preempt a blocking gcs).
+	GcsAtCeiling bool
+
+	// DeferredPenalty adds the deferred-execution penalty of Section 5.1:
+	// each higher-priority local task that suspends on global semaphores
+	// can preempt one extra time within the period. The penalty charged
+	// is one extra execution of each such task.
+	DeferredPenalty bool
+
+	// DPCPAssign maps global semaphores to synchronization processors for
+	// KindDPCP; unset semaphores default to their lowest-numbered
+	// accessor processor, matching internal/dpcp.
+	DPCPAssign map[task.SemID]task.ProcID
+}
+
+// Bound is the per-task worst-case blocking decomposition. Every field is
+// in ticks. Total = sum of the five factors plus the penalty.
+type Bound struct {
+	Task task.ID
+
+	// LocalBlocking is factor 1: local critical sections of lower
+	// priority jobs, once per global suspension plus once at arrival
+	// (Theorem 1 applied with n = number of gcs requests).
+	LocalBlocking int
+
+	// GlobalHeldByLower is factor 2: each gcs request can find the
+	// semaphore held by one lower-priority job.
+	GlobalHeldByLower int
+
+	// RemotePreemption is factor 3: higher-priority jobs on other
+	// processors whose gcs requests on the same semaphores precede ours.
+	RemotePreemption int
+
+	// BlockingProcGcs is factor 4: on each blocking processor, gcs's with
+	// execution priority above the directly blocking gcs can preempt it,
+	// extending our wait.
+	BlockingProcGcs int
+
+	// LowerLocalGcs is factor 5: gcs's of lower-priority jobs on our own
+	// processor execute above our priority and preempt us. The count per
+	// lower-priority task is min(NG_i+1, 2*NG_k) — both are valid upper
+	// bounds (the paper's OCR reads "max" but derives the two bounds
+	// conjunctively; we take the sound, tighter min and record the choice
+	// in EXPERIMENTS.md).
+	LowerLocalGcs int
+
+	// DeferredPenalty is the optional scheduling penalty for suspension-
+	// induced deferred execution of higher-priority local tasks.
+	DeferredPenalty int
+
+	// Total is the worst-case blocking B_i used by the schedulability
+	// tests.
+	Total int
+}
+
+// Errors surfaced by the analysis.
+var (
+	ErrNotValidated = errors.New("analysis: system not validated")
+	ErrNestedGlobal = errors.New("analysis: blocking factors require non-nested global critical sections")
+)
+
+// Bounds computes the per-task blocking bound under the selected protocol.
+func Bounds(sys *task.System, opts Options) (map[task.ID]*Bound, error) {
+	if !sys.Validated() {
+		return nil, ErrNotValidated
+	}
+	if opts.Kind == 0 {
+		opts.Kind = KindMPCP
+	}
+	for _, t := range sys.Tasks {
+		for _, cs := range sys.CriticalSections(t.ID) {
+			if cs.Global && (cs.Nested || !cs.Outermost) {
+				return nil, fmt.Errorf("%w: task %d semaphore %d", ErrNestedGlobal, t.ID, cs.Sem)
+			}
+		}
+	}
+	switch opts.Kind {
+	case KindMPCP:
+		return mpcpBounds(sys, opts), nil
+	case KindDPCP:
+		return dpcpBounds(sys, opts), nil
+	default:
+		return nil, fmt.Errorf("analysis: unknown kind %v", opts.Kind)
+	}
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// mpcpBounds implements the five factors of Section 5.1.
+func mpcpBounds(sys *task.System, opts Options) map[task.ID]*Bound {
+	tbl := ceiling.Compute(sys, opts.GcsAtCeiling)
+	out := make(map[task.ID]*Bound, len(sys.Tasks))
+
+	for _, ti := range sys.Tasks {
+		b := &Bound{Task: ti.ID}
+		gcsI := sys.GlobalSections(ti.ID)
+		ng := len(gcsI)
+		shared := make(map[task.SemID]bool, len(gcsI))
+		for _, cs := range gcsI {
+			shared[cs.Sem] = true
+		}
+
+		// Factor 1: (NG_i + 1) opportunities to be blocked by one local
+		// critical section of a lower-priority job whose ceiling reaches
+		// P_i.
+		maxLcs := 0
+		for _, tk := range sys.TasksOn(ti.Proc) {
+			if tk.Priority >= ti.Priority {
+				continue
+			}
+			for _, cs := range sys.LocalSections(tk.ID) {
+				if tbl.LocalCeil[cs.Sem] >= ti.Priority && cs.Duration > maxLcs {
+					maxLcs = cs.Duration
+				}
+			}
+		}
+		b.LocalBlocking = (ng + 1) * maxLcs
+
+		// Factor 2: per gcs request, the semaphore may be held by the
+		// longest lower-priority gcs on the same semaphore.
+		for _, cs := range gcsI {
+			worst := 0
+			for _, tk := range sys.Tasks {
+				if tk.ID == ti.ID || tk.Priority >= ti.Priority {
+					continue
+				}
+				for _, other := range sys.GlobalSections(tk.ID) {
+					if other.Sem == cs.Sem && other.Duration > worst {
+						worst = other.Duration
+					}
+				}
+			}
+			b.GlobalHeldByLower += worst
+		}
+
+		// Factor 3: higher-priority jobs on other processors requesting
+		// the same semaphores precede us; each can do so once per release
+		// within T_i.
+		for _, tj := range sys.Tasks {
+			if tj.Proc == ti.Proc || tj.Priority <= ti.Priority {
+				continue
+			}
+			dur := 0
+			for _, cs := range sys.GlobalSections(tj.ID) {
+				if shared[cs.Sem] {
+					dur += cs.Duration
+				}
+			}
+			if dur > 0 {
+				b.RemotePreemption += ceilDiv(ti.Period, tj.Period) * dur
+			}
+		}
+
+		// Factor 4: on each blocking processor, higher-priority gcs's
+		// preempt the gcs directly blocking us.
+		type blockerInfo struct {
+			minPrio int
+			found   bool
+		}
+		blockProcs := make(map[task.ProcID]*blockerInfo)
+		for _, tk := range sys.Tasks {
+			if tk.Proc == ti.Proc || tk.Priority >= ti.Priority {
+				continue
+			}
+			for _, cs := range sys.GlobalSections(tk.ID) {
+				if !shared[cs.Sem] {
+					continue
+				}
+				prio := tbl.GcsPrio[ceiling.Key{Task: tk.ID, Sem: cs.Sem}]
+				bi := blockProcs[tk.Proc]
+				if bi == nil {
+					bi = &blockerInfo{minPrio: prio, found: true}
+					blockProcs[tk.Proc] = bi
+				} else if prio < bi.minPrio {
+					bi.minPrio = prio
+				}
+			}
+		}
+		for proc, bi := range blockProcs {
+			if !bi.found {
+				continue
+			}
+			for _, tl := range sys.TasksOn(proc) {
+				dur := 0
+				for _, cs := range sys.GlobalSections(tl.ID) {
+					prio := tbl.GcsPrio[ceiling.Key{Task: tl.ID, Sem: cs.Sem}]
+					if prio > bi.minPrio {
+						dur += cs.Duration
+					}
+				}
+				if dur > 0 {
+					b.BlockingProcGcs += ceilDiv(ti.Period, tl.Period) * dur
+				}
+			}
+		}
+
+		// Factor 5: gcs's of lower-priority local jobs run above our
+		// priority. Each lower-priority task τk contributes at most
+		// min(NG_i + 1, 2·NG_k) sections of its longest gcs.
+		for _, tk := range sys.TasksOn(ti.Proc) {
+			if tk.Priority >= ti.Priority {
+				continue
+			}
+			ngk := len(sys.GlobalSections(tk.ID))
+			if ngk == 0 {
+				continue
+			}
+			maxGcs := 0
+			for _, cs := range sys.GlobalSections(tk.ID) {
+				if cs.Duration > maxGcs {
+					maxGcs = cs.Duration
+				}
+			}
+			count := ng + 1
+			if 2*ngk < count {
+				count = 2 * ngk
+			}
+			b.LowerLocalGcs += count * maxGcs
+		}
+
+		if opts.DeferredPenalty {
+			for _, tj := range sys.TasksOn(ti.Proc) {
+				if tj.Priority <= ti.Priority {
+					continue
+				}
+				if len(sys.GlobalSections(tj.ID)) > 0 {
+					b.DeferredPenalty += tj.WCET()
+				}
+			}
+		}
+
+		b.Total = b.LocalBlocking + b.GlobalHeldByLower + b.RemotePreemption +
+			b.BlockingProcGcs + b.LowerLocalGcs + b.DeferredPenalty
+		out[ti.ID] = b
+	}
+	return out
+}
+
+// dpcpAssign resolves the synchronization processor of each global
+// semaphore exactly as internal/dpcp does.
+func dpcpAssign(sys *task.System, explicit map[task.SemID]task.ProcID) map[task.SemID]task.ProcID {
+	out := make(map[task.SemID]task.ProcID)
+	for _, sem := range sys.Sems {
+		if !sem.Global {
+			continue
+		}
+		if p, ok := explicit[sem.ID]; ok {
+			out[sem.ID] = p
+			continue
+		}
+		procs := sys.AccessorProcs(sem.ID)
+		if len(procs) > 0 {
+			out[sem.ID] = procs[0]
+		}
+	}
+	return out
+}
+
+// dpcpBounds computes the analogous decomposition for the message-based
+// protocol: contention happens on synchronization processors, where every
+// gcs executes at the global ceiling of its semaphore.
+func dpcpBounds(sys *task.System, opts Options) map[task.ID]*Bound {
+	assign := dpcpAssign(sys, opts.DPCPAssign)
+	out := make(map[task.ID]*Bound, len(sys.Tasks))
+
+	// gcs's grouped by synchronization processor.
+	type remoteGcs struct {
+		owner *task.Task
+		cs    task.CriticalSection
+	}
+	bySync := make(map[task.ProcID][]remoteGcs)
+	for _, t := range sys.Tasks {
+		for _, cs := range sys.GlobalSections(t.ID) {
+			bySync[assign[cs.Sem]] = append(bySync[assign[cs.Sem]], remoteGcs{owner: t, cs: cs})
+		}
+	}
+
+	for _, ti := range sys.Tasks {
+		b := &Bound{Task: ti.ID}
+		gcsI := sys.GlobalSections(ti.ID)
+		ng := len(gcsI)
+		syncProcs := make(map[task.ProcID]bool)
+		for _, cs := range gcsI {
+			syncProcs[assign[cs.Sem]] = true
+		}
+
+		// Factor 1: identical local PCP blocking.
+		tbl := ceiling.Compute(sys, true)
+		maxLcs := 0
+		for _, tk := range sys.TasksOn(ti.Proc) {
+			if tk.Priority >= ti.Priority {
+				continue
+			}
+			for _, cs := range sys.LocalSections(tk.ID) {
+				if tbl.LocalCeil[cs.Sem] >= ti.Priority && cs.Duration > maxLcs {
+					maxLcs = cs.Duration
+				}
+			}
+		}
+		b.LocalBlocking = (ng + 1) * maxLcs
+
+		// Factor 2 analog: each of our requests can wait for one
+		// lower-priority gcs in service on the same sync processor.
+		for _, cs := range gcsI {
+			sp := assign[cs.Sem]
+			worst := 0
+			for _, rg := range bySync[sp] {
+				if rg.owner.ID == ti.ID || rg.owner.Priority >= ti.Priority {
+					continue
+				}
+				if rg.cs.Duration > worst {
+					worst = rg.cs.Duration
+				}
+			}
+			b.GlobalHeldByLower += worst
+		}
+
+		// Factor 3 analog: higher-priority gcs's on the sync processors we
+		// use delay our agents.
+		for sp := range syncProcs {
+			perOwner := make(map[task.ID]int)
+			for _, rg := range bySync[sp] {
+				if rg.owner.ID == ti.ID || rg.owner.Priority <= ti.Priority {
+					continue
+				}
+				perOwner[rg.owner.ID] += rg.cs.Duration
+			}
+			for owner, dur := range perOwner {
+				tj := sys.TaskByID(owner)
+				b.RemotePreemption += ceilDiv(ti.Period, tj.Period) * dur
+			}
+		}
+
+		// Factor 5 analog: agents of other tasks executing on our own
+		// processor (when it doubles as a synchronization processor)
+		// preempt us at ceiling priority regardless of task priorities.
+		perOwner := make(map[task.ID]int)
+		for _, rg := range bySync[ti.Proc] {
+			if rg.owner.ID == ti.ID {
+				continue
+			}
+			perOwner[rg.owner.ID] += rg.cs.Duration
+		}
+		for owner, dur := range perOwner {
+			tk := sys.TaskByID(owner)
+			b.LowerLocalGcs += ceilDiv(ti.Period, tk.Period) * dur
+		}
+
+		if opts.DeferredPenalty {
+			for _, tj := range sys.TasksOn(ti.Proc) {
+				if tj.Priority <= ti.Priority {
+					continue
+				}
+				if len(sys.GlobalSections(tj.ID)) > 0 {
+					b.DeferredPenalty += tj.WCET()
+				}
+			}
+		}
+
+		b.Total = b.LocalBlocking + b.GlobalHeldByLower + b.RemotePreemption +
+			b.BlockingProcGcs + b.LowerLocalGcs + b.DeferredPenalty
+		out[ti.ID] = b
+	}
+	return out
+}
+
+// TaskReport is the per-task outcome of a schedulability test.
+type TaskReport struct {
+	Task task.ID
+	Proc task.ProcID
+	C    int
+	T    int
+	B    int
+
+	// Utilization-bound test (Theorem 3).
+	UtilLHS float64
+	UtilRHS float64
+	UtilOK  bool
+
+	// Response-time iteration. Response is -1 when the iteration exceeds
+	// the deadline (unschedulable).
+	Response   int
+	ResponseOK bool
+}
+
+// Loss returns the schedulability loss due to blocking, B/T — the metric
+// Section 3.3 uses to argue that lower-priority (longer-period) jobs
+// should absorb waiting whenever possible.
+func (tr TaskReport) Loss() float64 {
+	if tr.T == 0 {
+		return 0
+	}
+	return float64(tr.B) / float64(tr.T)
+}
+
+// Report is a full schedulability verdict.
+type Report struct {
+	// SchedulableUtil is Theorem 3's verdict (sufficient condition).
+	SchedulableUtil bool
+	// SchedulableResponse is the response-time iteration's verdict.
+	SchedulableResponse bool
+	Tasks               []TaskReport
+}
+
+// Schedulability runs both the Theorem 3 utilization test and the
+// response-time iteration on every processor, using the supplied blocking
+// bounds.
+func Schedulability(sys *task.System, bounds map[task.ID]*Bound, opts Options) (*Report, error) {
+	if !sys.Validated() {
+		return nil, ErrNotValidated
+	}
+	rep := &Report{SchedulableUtil: true, SchedulableResponse: true}
+
+	for p := 0; p < sys.NumProcs; p++ {
+		tasks := sys.TasksOn(task.ProcID(p)) // descending priority
+		for i, ti := range tasks {
+			b := 0
+			if bd := bounds[ti.ID]; bd != nil {
+				b = bd.Total
+			}
+			tr := TaskReport{Task: ti.ID, Proc: ti.Proc, C: ti.WCET(), T: ti.Period, B: b}
+
+			// Theorem 3: sum_{j<=i} C_j/T_j + B_i/T_i <= i (2^{1/i} - 1).
+			lhs := float64(b) / float64(ti.Period)
+			for j := 0; j <= i; j++ {
+				lhs += tasks[j].Utilization()
+			}
+			n := float64(i + 1)
+			rhs := n * (math.Pow(2, 1/n) - 1)
+			tr.UtilLHS, tr.UtilRHS = lhs, rhs
+			tr.UtilOK = lhs <= rhs+1e-12
+			if !tr.UtilOK {
+				rep.SchedulableUtil = false
+			}
+
+			// Response-time iteration:
+			// R = C_i + B_i + sum_{j<i} ceil(R/T_j) C_j (+ one extra C_j
+			// per suspending higher-priority task when the deferred
+			// penalty is modeled structurally rather than inside B).
+			tr.Response, tr.ResponseOK = responseTime(sys, tasks[:i], ti, b)
+			if !tr.ResponseOK {
+				rep.SchedulableResponse = false
+			}
+			rep.Tasks = append(rep.Tasks, tr)
+		}
+	}
+	sort.Slice(rep.Tasks, func(a, b int) bool { return rep.Tasks[a].Task < rep.Tasks[b].Task })
+	return rep, nil
+}
+
+func responseTime(sys *task.System, higher []*task.Task, ti *task.Task, b int) (int, bool) {
+	deadline := ti.RelativeDeadline()
+	r := ti.WCET() + b
+	for iter := 0; iter < 1000; iter++ {
+		next := ti.WCET() + b
+		for _, tj := range higher {
+			next += ceilDiv(r, tj.Period) * tj.WCET()
+		}
+		if next == r {
+			return r, r <= deadline
+		}
+		if next > deadline {
+			return -1, false
+		}
+		r = next
+	}
+	return -1, false
+}

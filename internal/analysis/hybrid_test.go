@@ -1,0 +1,120 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mpcp/internal/analysis"
+	"mpcp/internal/hybrid"
+	"mpcp/internal/sim"
+	"mpcp/internal/task"
+	"mpcp/internal/workload"
+)
+
+// TestHybridBoundsDegenerateToMPCP: with no remote semaphores the hybrid
+// bounds equal the MPCP bounds exactly.
+func TestHybridBoundsDegenerateToMPCP(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		sys, err := workload.Generate(workload.Default(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := analysis.Bounds(sys, analysis.Options{Kind: analysis.KindMPCP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := analysis.HybridBounds(sys, analysis.HybridOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range m {
+			if m[id].Total != h[id].Total {
+				t.Errorf("seed %d task %d: hybrid %d != mpcp %d", seed, id, h[id].Total, m[id].Total)
+			}
+		}
+	}
+}
+
+// TestHybridBoundsDegenerateToDPCP: with every global semaphore remote
+// (default assignment), the hybrid bounds equal the DPCP bounds.
+func TestHybridBoundsDegenerateToDPCP(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		sys, err := workload.Generate(workload.Default(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote := make(map[task.SemID]bool)
+		for _, sem := range sys.Sems {
+			if sem.Global {
+				remote[sem.ID] = true
+			}
+		}
+		d, err := analysis.Bounds(sys, analysis.Options{Kind: analysis.KindDPCP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := analysis.HybridBounds(sys, analysis.HybridOptions{Remote: remote})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range d {
+			if d[id].Total != h[id].Total {
+				t.Errorf("seed %d task %d: hybrid %d != dpcp %d (%+v vs %+v)",
+					seed, id, h[id].Total, d[id].Total, h[id], d[id])
+			}
+		}
+	}
+}
+
+// TestHybridBoundsSoundAgainstSimulation: mixed configurations never see
+// simulated blocking above the hybrid bound.
+func TestHybridBoundsSoundAgainstSimulation(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		cfg := workload.Default(seed)
+		cfg.UtilPerProc = 0.4
+		sys, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote := make(map[task.SemID]bool)
+		for _, sem := range sys.Sems {
+			if sem.Global && int(sem.ID)%2 == 1 {
+				remote[sem.ID] = true
+			}
+		}
+		bounds, err := analysis.HybridBounds(sys, analysis.HybridOptions{Remote: remote})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := sim.New(sys, hybrid.New(hybrid.Options{Remote: remote}), sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, st := range res.Stats {
+			if st.MaxMeasuredB > bounds[id].Total {
+				t.Errorf("seed %d task %d: measured %d > hybrid bound %d (%+v)",
+					seed, id, st.MaxMeasuredB, bounds[id].Total, bounds[id])
+			}
+		}
+	}
+}
+
+func TestHybridBoundsRejectNested(t *testing.T) {
+	const g1, g2 = task.SemID(1), task.SemID(2)
+	sys := task.NewSystem(2)
+	sys.AddSem(&task.Semaphore{ID: g1})
+	sys.AddSem(&task.Semaphore{ID: g2})
+	sys.AddTask(&task.Task{ID: 1, Proc: 0, Period: 10, Priority: 2,
+		Body: []task.Segment{task.Lock(g1), task.Lock(g2), task.Compute(1), task.Unlock(g2), task.Unlock(g1)}})
+	sys.AddTask(&task.Task{ID: 2, Proc: 1, Period: 20, Priority: 1,
+		Body: []task.Segment{task.Lock(g1), task.Compute(1), task.Unlock(g1), task.Lock(g2), task.Compute(1), task.Unlock(g2)}})
+	if err := sys.Validate(task.ValidateOptions{AllowNestedGlobal: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analysis.HybridBounds(sys, analysis.HybridOptions{}); err == nil {
+		t.Error("nested global sections accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"math"
+
+	"mpcp/internal/ceiling"
+	"mpcp/internal/task"
+)
+
+// PCPBounds computes the uniprocessor priority ceiling protocol blocking
+// bound the paper reviews in Section 2 (from [10]): a job that never
+// suspends is blocked by at most one critical section of a lower-priority
+// job whose semaphore ceiling is at or above its priority. Every
+// semaphore must be local. Useful for the n=1 degenerate case the
+// shared-memory protocol reduces to, and as the blocking term for
+// processors with no global sharing.
+func PCPBounds(sys *task.System) (map[task.ID]*Bound, error) {
+	if !sys.Validated() {
+		return nil, ErrNotValidated
+	}
+	tbl := ceiling.Compute(sys, false)
+	out := make(map[task.ID]*Bound, len(sys.Tasks))
+	for _, ti := range sys.Tasks {
+		b := &Bound{Task: ti.ID}
+		for _, tk := range sys.TasksOn(ti.Proc) {
+			if tk.Priority >= ti.Priority {
+				continue
+			}
+			for _, cs := range sys.CriticalSections(tk.ID) {
+				if cs.Global {
+					continue
+				}
+				if tbl.LocalCeil[cs.Sem] >= ti.Priority && cs.Duration > b.LocalBlocking {
+					b.LocalBlocking = cs.Duration
+				}
+			}
+		}
+		b.Total = b.LocalBlocking
+		out[ti.ID] = b
+	}
+	return out, nil
+}
+
+// HyperbolicTest is the Bini-Buttazzo refinement of the Liu-Layland
+// utilization test, extended with blocking the same way Theorem 3
+// extends the original: for each task i (by descending priority on its
+// processor),
+//
+//	(U_i + B_i/T_i + 1) * Π_{j<i} (U_j + 1) <= 2.
+//
+// It admits strictly more task sets than Theorem 3 while remaining
+// sufficient; the library offers it as a sharper alternative.
+func HyperbolicTest(sys *task.System, bounds map[task.ID]*Bound) (bool, map[task.ID]bool, error) {
+	if !sys.Validated() {
+		return false, nil, ErrNotValidated
+	}
+	perTask := make(map[task.ID]bool, len(sys.Tasks))
+	all := true
+	for p := 0; p < sys.NumProcs; p++ {
+		tasks := sys.TasksOn(task.ProcID(p))
+		prod := 1.0
+		for _, ti := range tasks {
+			b := 0
+			if bd := bounds[ti.ID]; bd != nil {
+				b = bd.Total
+			}
+			lhs := (ti.Utilization() + float64(b)/float64(ti.Period) + 1) * prod
+			ok := lhs <= 2+1e-12
+			perTask[ti.ID] = ok
+			if !ok {
+				all = false
+			}
+			prod *= ti.Utilization() + 1
+		}
+	}
+	return all, perTask, nil
+}
+
+// LiuLaylandBound returns n(2^{1/n}-1), the least upper bound on
+// schedulable utilization for n tasks under rate-monotonic scheduling
+// (about 69% as n grows, the figure Section 3.2 quotes for static
+// binding).
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	f := float64(n)
+	return f * (math.Pow(2, 1/f) - 1)
+}

@@ -1,0 +1,213 @@
+package analysis_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"mpcp/internal/analysis"
+	"mpcp/internal/core"
+	"mpcp/internal/sim"
+	"mpcp/internal/task"
+)
+
+func uniSystem(t *testing.T) *task.System {
+	t.Helper()
+	const s1, s2 = task.SemID(1), task.SemID(2)
+	sys := task.NewSystem(1)
+	sys.AddSem(&task.Semaphore{ID: s1})
+	sys.AddSem(&task.Semaphore{ID: s2})
+	// High uses s1; mid uses s1 and s2; low uses s2.
+	sys.AddTask(&task.Task{ID: 1, Proc: 0, Period: 100, Priority: 3,
+		Body: []task.Segment{task.Compute(2), task.Lock(s1), task.Compute(3), task.Unlock(s1), task.Compute(2)}})
+	sys.AddTask(&task.Task{ID: 2, Proc: 0, Period: 150, Priority: 2,
+		Body: []task.Segment{
+			task.Compute(2),
+			task.Lock(s1), task.Compute(4), task.Unlock(s1),
+			task.Lock(s2), task.Compute(2), task.Unlock(s2),
+			task.Compute(2),
+		}})
+	sys.AddTask(&task.Task{ID: 3, Proc: 0, Period: 200, Priority: 1,
+		Body: []task.Segment{task.Compute(2), task.Lock(s2), task.Compute(5), task.Unlock(s2), task.Compute(2)}})
+	if err := sys.Validate(task.ValidateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestPCPBoundsHandComputed(t *testing.T) {
+	sys := uniSystem(t)
+	bounds, err := analysis.PCPBounds(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ceilings: s1 -> P1 (3), s2 -> P2 (2).
+	// τ1: lower tasks' sections with ceiling >= 3: τ2's s1 section (4).
+	if bounds[1].Total != 4 {
+		t.Errorf("B1 = %d, want 4", bounds[1].Total)
+	}
+	// τ2: τ3's s2 section has ceiling 2 >= 2 -> 5.
+	if bounds[2].Total != 5 {
+		t.Errorf("B2 = %d, want 5", bounds[2].Total)
+	}
+	// τ3: lowest priority, never blocked.
+	if bounds[3].Total != 0 {
+		t.Errorf("B3 = %d, want 0", bounds[3].Total)
+	}
+}
+
+func TestPCPBoundSoundAgainstSimulation(t *testing.T) {
+	sys := uniSystem(t)
+	bounds, err := analysis.PCPBounds(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift phases so blocking actually occurs.
+	sys.TaskByID(1).Offset = 3
+	sys.TaskByID(2).Offset = 1
+	if err := sys.Validate(task.ValidateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(sys, core.New(core.Options{}), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, st := range res.Stats {
+		if st.MaxMeasuredB > bounds[id].Total {
+			t.Errorf("task %d: measured %d > PCP bound %d", id, st.MaxMeasuredB, bounds[id].Total)
+		}
+	}
+}
+
+func TestHyperbolicAdmitsAtLeastTheorem3(t *testing.T) {
+	sys := uniSystem(t)
+	bounds, err := analysis.PCPBounds(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := analysis.Schedulability(sys, bounds, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _, err := analysis.HyperbolicTest(sys, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchedulableUtil && !hb {
+		t.Error("hyperbolic test rejected a Theorem 3-admitted set (must dominate)")
+	}
+}
+
+func TestHyperbolicBoundary(t *testing.T) {
+	// Two tasks with utilization product exactly at the bound:
+	// (U1+1)(U2+1) = 2 with U1 = U2 = sqrt(2)-1 ≈ 0.414.
+	sys := task.NewSystem(1)
+	sys.AddTask(&task.Task{ID: 1, Proc: 0, Period: 1000, Priority: 2,
+		Body: []task.Segment{task.Compute(414)}})
+	sys.AddTask(&task.Task{ID: 2, Proc: 0, Period: 2000, Priority: 1,
+		Body: []task.Segment{task.Compute(828)}})
+	if err := sys.Validate(task.ValidateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ok, per, err := analysis.HyperbolicTest(sys, map[task.ID]*analysis.Bound{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("just-inside boundary rejected: %v", per)
+	}
+	// Push beyond the bound.
+	sys2 := task.NewSystem(1)
+	sys2.AddTask(&task.Task{ID: 1, Proc: 0, Period: 1000, Priority: 2,
+		Body: []task.Segment{task.Compute(450)}})
+	sys2.AddTask(&task.Task{ID: 2, Proc: 0, Period: 2000, Priority: 1,
+		Body: []task.Segment{task.Compute(900)}})
+	if err := sys2.Validate(task.ValidateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ok2, _, err := analysis.HyperbolicTest(sys2, map[task.ID]*analysis.Bound{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok2 {
+		t.Error("over-bound set admitted")
+	}
+}
+
+func TestLiuLaylandBound(t *testing.T) {
+	if got := analysis.LiuLaylandBound(1); got != 1 {
+		t.Errorf("n=1: %v, want 1", got)
+	}
+	if got := analysis.LiuLaylandBound(2); math.Abs(got-0.8284) > 0.001 {
+		t.Errorf("n=2: %v, want ~0.828", got)
+	}
+	// Monotonically decreasing toward ln 2.
+	prev := 2.0
+	for n := 1; n <= 64; n *= 2 {
+		b := analysis.LiuLaylandBound(n)
+		if b >= prev {
+			t.Errorf("bound not decreasing at n=%d", n)
+		}
+		prev = b
+	}
+	if prev < math.Ln2-1e-6 {
+		t.Errorf("bound fell below ln 2: %v", prev)
+	}
+}
+
+func TestPCPBoundsRequireValidation(t *testing.T) {
+	sys := task.NewSystem(1)
+	sys.AddTask(&task.Task{ID: 1, Proc: 0, Period: 10, Priority: 1, Body: []task.Segment{task.Compute(1)}})
+	if _, err := analysis.PCPBounds(sys); err == nil {
+		t.Error("unvalidated system accepted")
+	}
+}
+
+func TestSchedulabilityLossMetric(t *testing.T) {
+	tr := analysis.TaskReport{B: 25, T: 100}
+	if got := tr.Loss(); got != 0.25 {
+		t.Errorf("Loss = %v, want 0.25", got)
+	}
+	zero := analysis.TaskReport{}
+	if got := zero.Loss(); got != 0 {
+		t.Errorf("zero-period Loss = %v, want 0", got)
+	}
+}
+
+func TestExplainMatchesBounds(t *testing.T) {
+	sys := uniSystem(t)
+	for _, tk := range sys.Tasks {
+		out, err := analysis.Explain(sys, tk.ID, analysis.Options{DeferredPenalty: true})
+		if err != nil {
+			t.Fatalf("explain %d: %v", tk.ID, err)
+		}
+		if out == "" {
+			t.Fatalf("empty explanation for %d", tk.ID)
+		}
+	}
+	// Check the headline number matches Bounds for a contended task.
+	bounds, err := analysis.Bounds(sys, analysis.Options{Kind: analysis.KindMPCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := analysis.Explain(sys, 1, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("B = %d ticks", bounds[1].Total)
+	if !strings.Contains(out, want) {
+		t.Errorf("explanation missing %q:\n%s", want, out)
+	}
+}
+
+func TestExplainUnknownTask(t *testing.T) {
+	sys := uniSystem(t)
+	if _, err := analysis.Explain(sys, 99, analysis.Options{}); err == nil {
+		t.Error("unknown task accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package ceiling_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpcp/internal/ceiling"
+	"mpcp/internal/paperex"
+	"mpcp/internal/task"
+	"mpcp/internal/workload"
+)
+
+func TestExample3Table(t *testing.T) {
+	sys, err := paperex.Example3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := ceiling.Compute(sys, false)
+	P := paperex.PriorityOf
+
+	if tbl.PH != P(1) || tbl.PG != P(1)+1 {
+		t.Fatalf("PH=%d PG=%d, want %d and %d", tbl.PH, tbl.PG, P(1), P(1)+1)
+	}
+	wantLocal := map[task.SemID]int{
+		paperex.S1: P(1), paperex.S2: P(5), paperex.S3: P(6),
+	}
+	for sem, want := range wantLocal {
+		if got := tbl.LocalCeil[sem]; got != want {
+			t.Errorf("local ceiling(%d) = %d, want %d", sem, got, want)
+		}
+	}
+	wantGlobal := map[task.SemID]int{
+		paperex.SG1: tbl.PG + P(1), paperex.SG2: tbl.PG + P(2),
+	}
+	for sem, want := range wantGlobal {
+		if got := tbl.GlobalCeil[sem]; got != want {
+			t.Errorf("global ceiling(%d) = %d, want %d", sem, got, want)
+		}
+	}
+}
+
+func TestAtCeilingVariant(t *testing.T) {
+	sys, err := paperex.Example3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := ceiling.Compute(sys, true)
+	for key, prio := range tbl.GcsPrio {
+		if prio != tbl.GlobalCeil[key.Sem] {
+			t.Errorf("atCeiling gcs prio %v = %d, want global ceiling %d", key, prio, tbl.GlobalCeil[key.Sem])
+		}
+	}
+}
+
+// Properties over random workloads:
+//  1. Every gcs priority exceeds P_H (Theorem 2's requirement).
+//  2. The global ceiling ordering follows the user priority ordering
+//     (Section 4.4's second condition).
+//  3. Local ceilings never exceed P_H.
+//  4. The paper's gcs priority never exceeds the semaphore's global
+//     ceiling and is never below P_G.
+func TestQuickCeilingProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := workload.Default(seed)
+		sys, err := workload.Generate(cfg)
+		if err != nil {
+			return false
+		}
+		tbl := ceiling.Compute(sys, false)
+		for _, prio := range tbl.GcsPrio {
+			if prio <= tbl.PH || prio < tbl.PG {
+				return false
+			}
+		}
+		for key, prio := range tbl.GcsPrio {
+			if prio > tbl.GlobalCeil[key.Sem] {
+				return false
+			}
+		}
+		for _, c := range tbl.LocalCeil {
+			if c > tbl.PH {
+				return false
+			}
+		}
+		for s1, c1 := range tbl.GlobalCeil {
+			for s2, c2 := range tbl.GlobalCeil {
+				u1 := sys.TasksUsing(s1)
+				u2 := sys.TasksUsing(s2)
+				if len(u1) == 0 || len(u2) == 0 {
+					continue
+				}
+				if u1[0].Priority > u2[0].Priority && c1 <= c2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSemWithNoUsersSkipped(t *testing.T) {
+	sys := task.NewSystem(1)
+	sys.AddSem(&task.Semaphore{ID: 1})
+	sys.AddTask(&task.Task{ID: 1, Proc: 0, Period: 10, Priority: 1, Body: []task.Segment{task.Compute(1)}})
+	if err := sys.Validate(task.ValidateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	tbl := ceiling.Compute(sys, false)
+	if _, ok := tbl.LocalCeil[1]; ok {
+		t.Error("unused semaphore got a ceiling")
+	}
+}

@@ -1,0 +1,46 @@
+// Package cli holds shared helpers for the command-line tools.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"mpcp/internal/core"
+	"mpcp/internal/dpcp"
+	"mpcp/internal/pcp"
+	"mpcp/internal/proto"
+	"mpcp/internal/sim"
+)
+
+// ProtocolNames lists the accepted -protocol values.
+const ProtocolNames = "mpcp, mpcp-spin, mpcp-fifo, mpcp-ceil, dpcp, pcp, pcp-immediate, none, none-prio, inherit"
+
+// ProtocolByName builds a protocol from its command-line name.
+func ProtocolByName(name string) (sim.Protocol, error) {
+	switch strings.ToLower(name) {
+	case "mpcp", "":
+		return core.New(core.Options{}), nil
+	case "mpcp-spin":
+		return core.New(core.Options{Wait: core.Spin}), nil
+	case "mpcp-fifo":
+		return core.New(core.Options{FIFOQueues: true}), nil
+	case "mpcp-ceil":
+		return core.New(core.Options{GcsAtCeiling: true}), nil
+	case "mpcp-nested":
+		return core.New(core.Options{AllowNestedGlobal: true}), nil
+	case "dpcp":
+		return dpcp.New(dpcp.Options{}), nil
+	case "pcp":
+		return pcp.New(), nil
+	case "pcp-immediate":
+		return pcp.NewImmediate(), nil
+	case "none":
+		return proto.NewNone(proto.FIFOOrder), nil
+	case "none-prio":
+		return proto.NewNone(proto.PriorityOrder), nil
+	case "inherit":
+		return proto.NewInherit(), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q (choose from: %s)", name, ProtocolNames)
+	}
+}

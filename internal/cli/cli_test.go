@@ -1,0 +1,44 @@
+package cli_test
+
+import (
+	"testing"
+
+	"mpcp/internal/cli"
+)
+
+func TestProtocolByName(t *testing.T) {
+	names := []string{
+		"mpcp", "mpcp-spin", "mpcp-fifo", "mpcp-ceil", "mpcp-nested",
+		"dpcp", "pcp", "none", "none-prio", "inherit", "",
+	}
+	for _, n := range names {
+		p, err := cli.ProtocolByName(n)
+		if err != nil {
+			t.Errorf("%q: %v", n, err)
+			continue
+		}
+		if p == nil || p.Name() == "" {
+			t.Errorf("%q: empty protocol", n)
+		}
+	}
+}
+
+func TestProtocolByNameCaseInsensitive(t *testing.T) {
+	if _, err := cli.ProtocolByName("MPCP"); err != nil {
+		t.Errorf("uppercase rejected: %v", err)
+	}
+}
+
+func TestProtocolByNameUnknown(t *testing.T) {
+	if _, err := cli.ProtocolByName("bogus"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestFreshInstances(t *testing.T) {
+	a, _ := cli.ProtocolByName("mpcp")
+	b, _ := cli.ProtocolByName("mpcp")
+	if a == b {
+		t.Error("ProtocolByName must return fresh instances (protocol state is per-run)")
+	}
+}

@@ -1,0 +1,190 @@
+// Package config loads workload descriptions from JSON for the command-
+// line tools (cmd/rtsim, cmd/rtsched). The format mirrors the Builder API:
+// processors, semaphores, and tasks whose bodies are sequences of
+// compute/lock/unlock steps.
+//
+//	{
+//	  "procs": 2,
+//	  "semaphores": [{"id": 1, "name": "state"}],
+//	  "tasks": [
+//	    {"id": 1, "name": "sensor", "proc": 0, "period": 100,
+//	     "body": [{"compute": 4}, {"lock": 1}, {"compute": 2}, {"unlock": 1}]}
+//	  ]
+//	}
+//
+// Priorities may be omitted (0) to request rate-monotonic assignment.
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"mpcp/internal/task"
+)
+
+// File is the top-level JSON document.
+type File struct {
+	Procs             int         `json:"procs"`
+	Semaphores        []Semaphore `json:"semaphores"`
+	Tasks             []Task      `json:"tasks"`
+	AllowNestedGlobal bool        `json:"allowNestedGlobal,omitempty"`
+}
+
+// Semaphore declares one semaphore.
+type Semaphore struct {
+	ID   int    `json:"id"`
+	Name string `json:"name,omitempty"`
+}
+
+// Task declares one periodic task.
+type Task struct {
+	ID       int    `json:"id"`
+	Name     string `json:"name,omitempty"`
+	Proc     int    `json:"proc"`
+	Period   int    `json:"period"`
+	Deadline int    `json:"deadline,omitempty"`
+	Offset   int    `json:"offset,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	Body     []Step `json:"body"`
+}
+
+// Step is one body instruction; exactly one field must be set (compute may
+// legitimately be zero only alongside no other field, which is rejected —
+// use positive durations).
+type Step struct {
+	Compute *int `json:"compute,omitempty"`
+	Lock    *int `json:"lock,omitempty"`
+	Unlock  *int `json:"unlock,omitempty"`
+}
+
+// ErrBadStep reports a body step that is not exactly one of
+// compute/lock/unlock.
+var ErrBadStep = errors.New("config: body step must set exactly one of compute, lock, unlock")
+
+// Parse decodes and validates a JSON document into a System.
+func Parse(r io.Reader) (*task.System, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("config: decode: %w", err)
+	}
+	return f.Build()
+}
+
+// Load reads a JSON file from path.
+func Load(path string) (*task.System, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer fh.Close()
+	return Parse(fh)
+}
+
+// Build constructs and validates the system described by f.
+func (f *File) Build() (*task.System, error) {
+	sys := task.NewSystem(f.Procs)
+	for _, s := range f.Semaphores {
+		sys.AddSem(&task.Semaphore{ID: task.SemID(s.ID), Name: s.Name})
+	}
+	explicit, implicit := 0, 0
+	for _, t := range f.Tasks {
+		body, err := buildBody(t.Body)
+		if err != nil {
+			return nil, fmt.Errorf("task %d: %w", t.ID, err)
+		}
+		if t.Priority != 0 {
+			explicit++
+		} else {
+			implicit++
+		}
+		sys.AddTask(&task.Task{
+			ID:       task.ID(t.ID),
+			Name:     t.Name,
+			Proc:     task.ProcID(t.Proc),
+			Period:   t.Period,
+			Deadline: t.Deadline,
+			Offset:   t.Offset,
+			Priority: t.Priority,
+			Body:     body,
+		})
+	}
+	if explicit > 0 && implicit > 0 {
+		return nil, errors.New("config: either all tasks or no tasks may set explicit priorities")
+	}
+	if explicit == 0 {
+		task.AssignRateMonotonic(sys)
+	}
+	if err := sys.Validate(task.ValidateOptions{AllowNestedGlobal: f.AllowNestedGlobal}); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// FromSystem converts a validated system back into its JSON description,
+// preserving explicit priorities (cmd/rtgen uses this to emit generated
+// workloads).
+func FromSystem(sys *task.System) *File {
+	f := &File{Procs: sys.NumProcs}
+	for _, sem := range sys.Sems {
+		f.Semaphores = append(f.Semaphores, Semaphore{ID: int(sem.ID), Name: sem.Name})
+	}
+	for _, t := range sys.Tasks {
+		ct := Task{
+			ID:       int(t.ID),
+			Name:     t.Name,
+			Proc:     int(t.Proc),
+			Period:   t.Period,
+			Deadline: t.Deadline,
+			Offset:   t.Offset,
+			Priority: t.Priority,
+		}
+		for _, seg := range t.Body {
+			switch seg.Kind {
+			case task.SegCompute:
+				d := seg.Duration
+				ct.Body = append(ct.Body, Step{Compute: &d})
+			case task.SegLock:
+				s := int(seg.Sem)
+				ct.Body = append(ct.Body, Step{Lock: &s})
+			case task.SegUnlock:
+				s := int(seg.Sem)
+				ct.Body = append(ct.Body, Step{Unlock: &s})
+			}
+		}
+		f.Tasks = append(f.Tasks, ct)
+	}
+	return f
+}
+
+func buildBody(steps []Step) ([]task.Segment, error) {
+	var body []task.Segment
+	for i, st := range steps {
+		set := 0
+		if st.Compute != nil {
+			set++
+		}
+		if st.Lock != nil {
+			set++
+		}
+		if st.Unlock != nil {
+			set++
+		}
+		if set != 1 {
+			return nil, fmt.Errorf("%w (step %d)", ErrBadStep, i)
+		}
+		switch {
+		case st.Compute != nil:
+			body = append(body, task.Compute(*st.Compute))
+		case st.Lock != nil:
+			body = append(body, task.Lock(task.SemID(*st.Lock)))
+		case st.Unlock != nil:
+			body = append(body, task.Unlock(task.SemID(*st.Unlock)))
+		}
+	}
+	return body, nil
+}

@@ -1,0 +1,134 @@
+package config_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpcp/internal/config"
+	"mpcp/internal/workload"
+)
+
+const sample = `{
+  "procs": 2,
+  "semaphores": [
+    {"id": 1, "name": "state"},
+    {"id": 2, "name": "buf"}
+  ],
+  "tasks": [
+    {"id": 1, "name": "hi", "proc": 0, "period": 100,
+     "body": [{"compute": 4}, {"lock": 1}, {"compute": 2}, {"unlock": 1}]},
+    {"id": 2, "name": "lo", "proc": 1, "period": 200, "offset": 3,
+     "body": [{"compute": 6}, {"lock": 1}, {"compute": 3}, {"unlock": 1},
+              {"lock": 2}, {"compute": 1}, {"unlock": 2}]}
+  ]
+}`
+
+func TestParse(t *testing.T) {
+	sys, err := config.Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if sys.NumProcs != 2 || len(sys.Tasks) != 2 || len(sys.Sems) != 2 {
+		t.Fatalf("shape: procs=%d tasks=%d sems=%d", sys.NumProcs, len(sys.Tasks), len(sys.Sems))
+	}
+	if !sys.SemByID(1).Global {
+		t.Error("sem 1 used from both processors should be global")
+	}
+	if sys.SemByID(2).Global {
+		t.Error("sem 2 used only on P1 should be local")
+	}
+	// RM priorities assigned: shorter period wins.
+	if !(sys.TaskByID(1).Priority > sys.TaskByID(2).Priority) {
+		t.Error("rate-monotonic priorities not assigned")
+	}
+	if sys.TaskByID(2).Offset != 3 {
+		t.Error("offset lost in parsing")
+	}
+}
+
+func TestParseRejectsBadStep(t *testing.T) {
+	bad := `{"procs":1,"tasks":[{"id":1,"proc":0,"period":10,"body":[{"compute":1,"lock":1}]}]}`
+	if _, err := config.Parse(strings.NewReader(bad)); err == nil {
+		t.Error("step with two fields accepted")
+	}
+	empty := `{"procs":1,"tasks":[{"id":1,"proc":0,"period":10,"body":[{}]}]}`
+	if _, err := config.Parse(strings.NewReader(empty)); err == nil {
+		t.Error("empty step accepted")
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	bad := `{"procs":1,"cpus":4,"tasks":[]}`
+	if _, err := config.Parse(strings.NewReader(bad)); err == nil {
+		t.Error("unknown top-level field accepted")
+	}
+}
+
+func TestParseRejectsMixedPriorities(t *testing.T) {
+	bad := `{"procs":1,"tasks":[
+	  {"id":1,"proc":0,"period":10,"priority":2,"body":[{"compute":1}]},
+	  {"id":2,"proc":0,"period":20,"body":[{"compute":1}]}]}`
+	if _, err := config.Parse(strings.NewReader(bad)); err == nil {
+		t.Error("mixed explicit/implicit priorities accepted")
+	}
+}
+
+func TestParsePropagatesValidation(t *testing.T) {
+	bad := `{"procs":1,"tasks":[{"id":1,"proc":0,"period":10,"body":[{"lock":9}]}]}`
+	if _, err := config.Parse(strings.NewReader(bad)); err == nil {
+		t.Error("unknown semaphore accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := config.Load("/nonexistent/x.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestFromSystemRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		sys, err := workload.Generate(workload.Default(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := config.FromSystem(sys)
+		data, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := config.Parse(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("seed %d: re-parse: %v", seed, err)
+		}
+		if back.NumProcs != sys.NumProcs || len(back.Tasks) != len(sys.Tasks) || len(back.Sems) != len(sys.Sems) {
+			t.Fatalf("seed %d: shape changed", seed)
+		}
+		for i, orig := range sys.Tasks {
+			got := back.Tasks[i]
+			if got.ID != orig.ID || got.Proc != orig.Proc || got.Period != orig.Period ||
+				got.Priority != orig.Priority || got.Offset != orig.Offset ||
+				!reflect.DeepEqual(got.Body, orig.Body) {
+				t.Fatalf("seed %d: task %d changed across round trip", seed, orig.ID)
+			}
+		}
+		for _, sem := range sys.Sems {
+			if back.SemByID(sem.ID).Global != sem.Global {
+				t.Fatalf("seed %d: semaphore %d globality changed", seed, sem.ID)
+			}
+		}
+	}
+}
+
+func TestLoadTestdata(t *testing.T) {
+	sys, err := config.Load("testdata/avionics.json")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(sys.Tasks) == 0 {
+		t.Fatal("no tasks loaded")
+	}
+}

@@ -1,0 +1,43 @@
+package config_test
+
+import (
+	"strings"
+	"testing"
+
+	"mpcp/internal/config"
+)
+
+// FuzzParse checks that arbitrary JSON never panics the parser and that
+// everything it accepts is a fully validated system.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add(`{}`)
+	f.Add(`{"procs":1,"tasks":[{"id":1,"proc":0,"period":5,"body":[{"compute":1}]}]}`)
+	f.Add(`{"procs":2,"semaphores":[{"id":1}],"tasks":[
+	  {"id":1,"proc":0,"period":10,"body":[{"lock":1},{"compute":1},{"unlock":1}]},
+	  {"id":2,"proc":1,"period":20,"body":[{"lock":1},{"compute":2},{"unlock":1}]}]}`)
+	f.Add(`{"procs":-1}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"procs":1,"tasks":[{"id":1,"proc":0,"period":5,"body":[{"compute":-3}]}]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		sys, err := config.Parse(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if !sys.Validated() {
+			t.Fatal("Parse returned an unvalidated system")
+		}
+		if sys.NumProcs <= 0 || len(sys.Tasks) == 0 {
+			t.Fatal("Parse accepted a degenerate system")
+		}
+		for _, tk := range sys.Tasks {
+			if tk.Period <= 0 {
+				t.Fatalf("accepted non-positive period on task %d", tk.ID)
+			}
+			if tk.WCET() < 0 {
+				t.Fatalf("negative WCET on task %d", tk.ID)
+			}
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package dpcp_test
+
+import (
+	"testing"
+
+	"mpcp/internal/dpcp"
+	"mpcp/internal/paperex"
+	"mpcp/internal/sim"
+	"mpcp/internal/task"
+	"mpcp/internal/trace"
+	"mpcp/internal/workload"
+)
+
+func run(t *testing.T, sys *task.System, p sim.Protocol, cfg sim.Config) *sim.Result {
+	t.Helper()
+	e, err := sim.New(sys, p, cfg)
+	if err != nil {
+		t.Fatalf("new engine: %v", err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+// twoProcShared builds a minimal system where a global semaphore's gcs
+// must execute on its synchronization processor.
+func twoProcShared(t *testing.T) (*task.System, task.SemID) {
+	t.Helper()
+	const g = task.SemID(1)
+	sys := task.NewSystem(2)
+	sys.AddSem(&task.Semaphore{ID: g, Name: "G"})
+	sys.AddTask(&task.Task{ID: 1, Proc: 0, Period: 60, Priority: 2,
+		Body: []task.Segment{task.Compute(1), task.Lock(g), task.Compute(3), task.Unlock(g), task.Compute(1)}})
+	sys.AddTask(&task.Task{ID: 2, Proc: 1, Period: 80, Priority: 1,
+		Body: []task.Segment{task.Compute(1), task.Lock(g), task.Compute(2), task.Unlock(g), task.Compute(1)}})
+	if err := sys.Validate(task.ValidateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return sys, g
+}
+
+func TestGcsExecutesOnSyncProcessor(t *testing.T) {
+	sys, g := twoProcShared(t)
+	log := trace.New()
+	p := dpcp.New(dpcp.Options{Assign: map[task.SemID]task.ProcID{g: 1}})
+	res := run(t, sys, p, sim.Config{Horizon: 240, Trace: log})
+
+	if p.SyncProc(g) != 1 {
+		t.Fatalf("sync proc = %d, want 1", p.SyncProc(g))
+	}
+	// Every InGCS execution tick must be on processor 1.
+	for _, x := range log.Execs {
+		if x.InGCS && x.Proc != 1 {
+			t.Errorf("gcs tick at t=%d on P%d, want sync processor 1", x.Time, x.Proc)
+		}
+	}
+	// Task 1's gcs runs remotely: it must still finish and meet deadlines.
+	if res.AnyMiss {
+		t.Error("unexpected deadline miss")
+	}
+	if res.Stats[1].Finished == 0 || res.Stats[2].Finished == 0 {
+		t.Error("tasks did not finish")
+	}
+}
+
+func TestDefaultAssignmentIsLowestAccessor(t *testing.T) {
+	sys, g := twoProcShared(t)
+	p := dpcp.New(dpcp.Options{})
+	if _, err := sim.New(sys, p, sim.Config{Horizon: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.SyncProc(g); got != 0 {
+		t.Errorf("default sync proc = %d, want 0", got)
+	}
+}
+
+func TestRemoteExecNotCountedAsBlocking(t *testing.T) {
+	sys, _ := twoProcShared(t)
+	res := run(t, sys, dpcp.New(dpcp.Options{}), sim.Config{Horizon: 240, RetainJobs: true})
+	// With zero contention in this layout, task 1's gcs executes
+	// immediately on P0 (sync proc); its waiting should be 0 even though
+	// it suspends during remote execution.
+	for _, j := range res.Jobs {
+		if j.Task.ID != 1 {
+			continue
+		}
+		if j.SuspendedTicks != 0 {
+			t.Errorf("job %v suspended %d ticks, want 0 (remote execution is not blocking)", j, j.SuspendedTicks)
+		}
+		if j.RemoteExecTicks != 3 {
+			t.Errorf("job %v remote exec = %d ticks, want 3", j, j.RemoteExecTicks)
+		}
+	}
+}
+
+func TestAgentPreemptsSyncProcTasks(t *testing.T) {
+	// Sync processor 0 hosts a high-priority CPU-bound task; a remote
+	// task's agent must still preempt it (ceiling > every base priority).
+	const g = task.SemID(1)
+	sys := task.NewSystem(2)
+	sys.AddSem(&task.Semaphore{ID: g})
+	sys.AddTask(&task.Task{ID: 1, Proc: 0, Period: 100, Priority: 3,
+		Body: []task.Segment{task.Compute(10)}})
+	sys.AddTask(&task.Task{ID: 2, Proc: 0, Period: 120, Priority: 2,
+		Body: []task.Segment{task.Compute(1), task.Lock(g), task.Compute(1), task.Unlock(g)}})
+	sys.AddTask(&task.Task{ID: 3, Proc: 1, Period: 140, Offset: 1, Priority: 1,
+		Body: []task.Segment{task.Lock(g), task.Compute(3), task.Unlock(g)}})
+	if err := sys.Validate(task.ValidateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	log := trace.New()
+	run(t, sys, dpcp.New(dpcp.Options{}), sim.Config{Horizon: 280, Trace: log})
+
+	// τ3's agent arrives at t=1 on P0 while τ1 executes; ticks 1..3 on P0
+	// must belong to τ3's gcs.
+	for tick := 1; tick <= 3; tick++ {
+		x, ok := log.ExecAt(0, tick)
+		if !ok || x.Task != 3 || !x.InGCS {
+			t.Errorf("t=%d on P0: got %+v, want τ3's agent in gcs", tick, x)
+		}
+	}
+}
+
+func TestMutualExclusionUnderContention(t *testing.T) {
+	cfg := workload.Default(3)
+	cfg.NumProcs = 3
+	cfg.TasksPerProc = 3
+	cfg.UtilPerProc = 0.45
+	sys, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := trace.New()
+	res := run(t, sys, dpcp.New(dpcp.Options{}), sim.Config{Trace: log})
+	if res.Deadlock {
+		t.Fatal("deadlock")
+	}
+	for _, v := range trace.CheckMutex(log) {
+		t.Errorf("mutex violation: %v", v)
+	}
+}
+
+func TestExample3UnderDPCP(t *testing.T) {
+	sys, err := paperex.Example4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := trace.New()
+	res := run(t, sys, dpcp.New(dpcp.Options{}), sim.Config{Horizon: 400, Trace: log})
+	if res.Deadlock {
+		t.Fatal("deadlock")
+	}
+	if res.AnyMiss {
+		t.Error("unexpected miss in Example 4 under DPCP")
+	}
+	for _, v := range trace.CheckMutex(log) {
+		t.Errorf("mutex violation: %v", v)
+	}
+}
+
+func TestNestedGlobalRejected(t *testing.T) {
+	const g1, g2 = task.SemID(1), task.SemID(2)
+	sys := task.NewSystem(2)
+	sys.AddSem(&task.Semaphore{ID: g1})
+	sys.AddSem(&task.Semaphore{ID: g2})
+	sys.AddTask(&task.Task{ID: 1, Proc: 0, Period: 10, Priority: 2,
+		Body: []task.Segment{task.Lock(g1), task.Lock(g2), task.Compute(1), task.Unlock(g2), task.Unlock(g1)}})
+	sys.AddTask(&task.Task{ID: 2, Proc: 1, Period: 20, Priority: 1,
+		Body: []task.Segment{task.Lock(g1), task.Compute(1), task.Unlock(g1), task.Lock(g2), task.Compute(1), task.Unlock(g2)}})
+	if err := sys.Validate(task.ValidateOptions{AllowNestedGlobal: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.New(sys, dpcp.New(dpcp.Options{}), sim.Config{Horizon: 10}); err == nil {
+		t.Error("dpcp accepted nested global critical sections")
+	}
+}
+
+func TestInvalidSyncProcRejected(t *testing.T) {
+	sys, g := twoProcShared(t)
+	p := dpcp.New(dpcp.Options{Assign: map[task.SemID]task.ProcID{g: 7}})
+	if _, err := sim.New(sys, p, sim.Config{Horizon: 10}); err == nil {
+		t.Error("dpcp accepted an out-of-range synchronization processor")
+	}
+}

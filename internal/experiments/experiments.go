@@ -1,0 +1,115 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation as formatted tables (see DESIGN.md's per-experiment index).
+// Each function is deterministic; cmd/rtexp prints the tables and
+// bench_test.go at the module root wraps each one in a benchmark so the
+// full reproduction runs under `go test -bench`.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated artifact: an ID matching DESIGN.md, the rows
+// the paper reports (or the invariant checks standing in for them), and
+// free-form notes (e.g. a rendered trace).
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// RenderCSV emits the table as CSV (header row first, notes omitted) for
+// scripting sweeps outside Go.
+func (t *Table) RenderCSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	// Errors are impossible on a strings.Builder; check the final Flush.
+	_ = w.Write(t.Header)
+	for _, row := range t.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Render formats the table for a terminal.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c + "  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		b.WriteString(t.Notes)
+		if !strings.HasSuffix(t.Notes, "\n") {
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Experiment pairs an ID with its generator.
+type Experiment struct {
+	ID  string
+	Run func() (*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", E1RemoteBlocking},
+		{"E2", E2InheritanceInsufficient},
+		{"E3", E3DhallEffect},
+		{"E4", E4PriorityCeilings},
+		{"E5", E5GcsPriorities},
+		{"E6", E6Example4Trace},
+		{"E7", E7SuspensionBound},
+		{"E8", E8GcsPreemptionInvariant},
+		{"E9", E9BlockingBoundTightness},
+		{"E10", E10ProtocolComparison},
+		{"E11", E11Theorem3Soundness},
+		{"E12", E12SpinOverhead},
+		{"E13", E13NestedGcs},
+		{"E14", E14HybridProtocol},
+		{"E15", E15AllocationAffinity},
+		{"E16", E16AperiodicServer},
+		{"E17", E17MinProcessors},
+		{"E18", E18SpinVsSuspend},
+		{"E19", E19DedicatedSyncProc},
+	}
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func ftoa(v float64) string { return fmt.Sprintf("%.3f", v) }

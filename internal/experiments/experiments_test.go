@@ -1,0 +1,117 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"mpcp/internal/experiments"
+)
+
+func TestAllIDsUniqueAndOrdered(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range experiments.All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil {
+			t.Errorf("%s has no runner", e.ID)
+		}
+	}
+	if len(seen) != 19 {
+		t.Errorf("experiment count = %d, want 19", len(seen))
+	}
+}
+
+func TestRenderFormatting(t *testing.T) {
+	tbl := &experiments.Table{
+		ID:     "EX",
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"1", "2"}, {"333333", "4"}},
+		Notes:  "note",
+	}
+	out := tbl.Render()
+	for _, want := range []string{"== EX: demo ==", "long-column", "333333", "note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("render must end with a newline")
+	}
+}
+
+// TestFastExperimentsProduceRows executes the cheap experiments end to
+// end and sanity-checks their structure. The heavyweight sweeps (E9-E11,
+// E14) are exercised by the benchmark harness and cmd/rtexp.
+func TestFastExperimentsProduceRows(t *testing.T) {
+	fast := map[string]int{ // id -> minimum expected rows
+		"E1":  7,
+		"E2":  7,
+		"E3":  4,
+		"E4":  5,
+		"E5":  6,
+		"E6":  5,
+		"E12": 9,
+		"E13": 2,
+		"E16": 3,
+	}
+	for _, e := range experiments.All() {
+		min, ok := fast[e.ID]
+		if !ok {
+			continue
+		}
+		tbl, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if len(tbl.Rows) < min {
+			t.Errorf("%s: %d rows, want >= %d", e.ID, len(tbl.Rows), min)
+		}
+		if len(tbl.Header) == 0 || tbl.Title == "" {
+			t.Errorf("%s: missing header or title", e.ID)
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Header) {
+				t.Errorf("%s: row width %d != header width %d", e.ID, len(row), len(tbl.Header))
+			}
+		}
+	}
+}
+
+// TestInvariantExperimentsReportClean asserts the pass/fail-style
+// experiments actually report clean results (they are the reproduction's
+// acceptance checks).
+func TestInvariantExperimentsReportClean(t *testing.T) {
+	t6, err := experiments.E6Example4Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range t6.Rows {
+		if row[1] != "ok" {
+			t.Errorf("E6 check %q = %q", row[0], row[1])
+		}
+	}
+
+	t7, err := experiments.E7SuspensionBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range t7.Rows {
+		if row[4] != "true" {
+			t.Errorf("E7 seed %s: bound violated", row[0])
+		}
+	}
+
+	t8, err := experiments.E8GcsPreemptionInvariant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range t8.Rows {
+		if row[3] != "0" {
+			t.Errorf("E8 seed %s: %s violations", row[0], row[3])
+		}
+	}
+}

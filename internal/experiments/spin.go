@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mpcp/internal/core"
+	"mpcp/internal/task"
+	"mpcp/internal/workload"
+)
+
+// E18SpinVsSuspend quantifies the Section 5 remark that both waiting
+// disciplines at a busy global semaphore "can cause processor cycles to
+// be lost": suspension admits lower-priority execution but pays the
+// deferred-execution penalty; spinning burns the waiter's own processor
+// outright. The sweep simulates both variants of the shared-memory
+// protocol on identical contended workloads and reports the cycles each
+// discipline loses plus the worst response-time inflation across tasks.
+func E18SpinVsSuspend() (*Table, error) {
+	t := &Table{
+		ID:    "E18",
+		Title: "Section 5 remark: suspension vs busy-wait at global semaphores",
+		Header: []string{"util/proc", "seeds",
+			"spin burn", "susp wait", "spin resp+%", "susp resp+%", "misses"},
+	}
+	const seeds = 10
+	for _, util := range []float64{0.5, 0.6, 0.7, 0.8} {
+		var burnSpin, waitSusp int64
+		var spinWorse, suspWorse, comparisons, misses int
+		for seed := int64(1); seed <= seeds; seed++ {
+			cfg := workload.Default(seed)
+			cfg.UtilPerProc = util
+			cfg.Hotspot = true
+			cfg.Stagger = true
+			cfg.CSTicks = [2]int{4, 10}
+			sys, err := workload.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := runSim(sys, core.New(core.Options{}), 0)
+			if err != nil {
+				return nil, err
+			}
+			rp, err := runSim(sys, core.New(core.Options{Wait: core.Spin}), 0)
+			if err != nil {
+				return nil, err
+			}
+			if rs.AnyMiss || rp.AnyMiss {
+				misses++
+			}
+			for _, st := range rs.Stats {
+				waitSusp += int64(st.MaxSuspended)
+			}
+			for _, st := range rp.Stats {
+				burnSpin += int64(st.MaxSpin)
+			}
+			for id := range rs.Stats {
+				a, b := rs.Stats[task.ID(id)].MaxResponse, rp.Stats[task.ID(id)].MaxResponse
+				comparisons++
+				if b > a {
+					spinWorse++
+				}
+				if a > b {
+					suspWorse++
+				}
+			}
+		}
+		pct := func(n int) string {
+			if comparisons == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%d%%", n*100/comparisons)
+		}
+		t.Rows = append(t.Rows, []string{
+			ftoa(util), itoa(seeds),
+			fmt.Sprint(burnSpin), fmt.Sprint(waitSusp),
+			pct(spinWorse), pct(suspWorse), itoa(misses),
+		})
+	}
+	t.Notes = "spin burn: busy-wait ticks lost outright (per-task worst, summed);\n" +
+		"susp wait: suspension ticks under the paper's primary design; resp+%:\n" +
+		"fraction of tasks whose worst response is strictly worse under that\n" +
+		"discipline. Spinning hurts the waiter's own lower-priority neighbours\n" +
+		"(they lose the processor during the wait), suspension spreads the cost\n" +
+		"as deferred-execution interference — the trade the paper names without\n" +
+		"quantifying. At these feasible utilizations neither discipline misses."
+	return t, nil
+}

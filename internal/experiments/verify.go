@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Verify checks a regenerated table against the acceptance criteria of
+// DESIGN.md's per-experiment index — the machine-checkable version of
+// "the shape the paper reports holds". It returns nil when the artifact
+// passes and a descriptive error otherwise. Experiments without
+// quantitative acceptance criteria (pure reporting tables) verify
+// structurally only.
+func Verify(t *Table) error {
+	if t == nil || len(t.Rows) == 0 {
+		return fmt.Errorf("empty table")
+	}
+	for _, row := range t.Rows {
+		if len(row) != len(t.Header) {
+			return fmt.Errorf("ragged row %v", row)
+		}
+	}
+	switch t.ID {
+	case "E1":
+		return verifyE1(t)
+	case "E2":
+		return verifyE2(t)
+	case "E3":
+		return verifyE3(t)
+	case "E6":
+		return verifyAllOK(t, 1)
+	case "E7":
+		return verifyColumnEquals(t, 4, "true")
+	case "E8":
+		return verifyColumnEquals(t, 3, "0")
+	case "E9":
+		return verifyColumnEquals(t, 3, "0") // violations column
+	case "E10":
+		return verifyE10(t)
+	case "E11":
+		return verifyColumnEquals(t, 3, "0") // admitted&missed
+	case "E12":
+		return verifyE12(t)
+	case "E13":
+		return verifyE13(t)
+	case "E15":
+		return verifyE15(t)
+	case "E17":
+		return verifyE17(t)
+	case "E19":
+		return verifyColumnEquals(t, 5, "0") // unsound column
+	default:
+		return nil // structural checks only
+	}
+}
+
+func atoi(s string) (int, error) {
+	return strconv.Atoi(strings.TrimSuffix(strings.TrimSpace(s), "%"))
+}
+
+// verifyE1: the no-protocol column grows monotonically with interference
+// while the inheritance column stays constant.
+func verifyE1(t *Table) error {
+	prev := -1
+	first := ""
+	for _, row := range t.Rows {
+		none, err := atoi(row[1])
+		if err != nil {
+			return err
+		}
+		if none <= prev {
+			return fmt.Errorf("B(none) not strictly growing: %v", row)
+		}
+		prev = none
+		if first == "" {
+			first = row[2]
+		} else if row[2] != first {
+			return fmt.Errorf("B(inherit) not constant: %v", row)
+		}
+	}
+	return nil
+}
+
+// verifyE2: inheritance grows, MPCP constant and bounded by the critical
+// section length.
+func verifyE2(t *Table) error {
+	prev := -1
+	for _, row := range t.Rows {
+		inh, err := atoi(row[1])
+		if err != nil {
+			return err
+		}
+		if inh <= prev {
+			return fmt.Errorf("B(inherit) not strictly growing: %v", row)
+		}
+		prev = inh
+		mp, err := atoi(row[2])
+		if err != nil {
+			return err
+		}
+		cs, err := atoi(row[3])
+		if err != nil {
+			return err
+		}
+		if mp > cs {
+			return fmt.Errorf("B(mpcp)=%d exceeds critical section %d", mp, cs)
+		}
+	}
+	return nil
+}
+
+// verifyE3: dynamic binding misses, static never does.
+func verifyE3(t *Table) error {
+	for _, row := range t.Rows {
+		dyn, err := atoi(row[2])
+		if err != nil {
+			return err
+		}
+		static, err := atoi(row[4])
+		if err != nil {
+			return err
+		}
+		if dyn == 0 {
+			return fmt.Errorf("dynamic binding did not miss at m=%s", row[0])
+		}
+		if static != 0 {
+			return fmt.Errorf("static binding missed at m=%s", row[0])
+		}
+	}
+	return nil
+}
+
+// verifyAllOK: every value in the given column reads "ok".
+func verifyAllOK(t *Table, col int) error {
+	for _, row := range t.Rows {
+		if row[col] != "ok" {
+			return fmt.Errorf("check %q = %q", row[0], row[col])
+		}
+	}
+	return nil
+}
+
+func verifyColumnEquals(t *Table, col int, want string) error {
+	for _, row := range t.Rows {
+		if row[col] != want {
+			return fmt.Errorf("row %v: column %d = %q, want %q", row, col, row[col], want)
+		}
+	}
+	return nil
+}
+
+// verifyE10: admission decays with utilization for both protocols, and
+// no simulated miss occurs in a regime where that protocol admits 100%.
+func verifyE10(t *Table) error {
+	prevM, prevD := 101, 101
+	for _, row := range t.Rows {
+		m, err := atoi(row[1])
+		if err != nil {
+			return err
+		}
+		d, err := atoi(row[2])
+		if err != nil {
+			return err
+		}
+		if m > prevM || d > prevD {
+			return fmt.Errorf("admission increased with utilization: %v", row)
+		}
+		prevM, prevD = m, d
+		missM, err := atoi(row[3])
+		if err != nil {
+			return err
+		}
+		if m == 100 && missM > 0 {
+			return fmt.Errorf("misses despite 100%% MPCP admission: %v", row)
+		}
+	}
+	return nil
+}
+
+// verifyE12: cached spinning never exceeds tas-spin traffic, and
+// ipi-wait never exceeds cached-spin traffic, per processor count.
+func verifyE12(t *Table) error {
+	traffic := make(map[string]map[string]int)
+	for _, row := range t.Rows {
+		procs, strategy := row[0], row[1]
+		txns, err := atoi(row[2])
+		if err != nil {
+			return err
+		}
+		if traffic[procs] == nil {
+			traffic[procs] = make(map[string]int)
+		}
+		traffic[procs][strategy] = txns
+	}
+	for procs, m := range traffic {
+		if m["cached-spin"] > m["tas-spin"] {
+			return fmt.Errorf("procs=%s: cached-spin traffic exceeds tas-spin", procs)
+		}
+		if m["ipi-wait"] > m["cached-spin"] {
+			return fmt.Errorf("procs=%s: ipi-wait traffic exceeds cached-spin", procs)
+		}
+	}
+	return nil
+}
+
+// verifyE13: neither variant deadlocks; only the collapsed variant is
+// analyzable.
+func verifyE13(t *Table) error {
+	for _, row := range t.Rows {
+		if row[1] != "false" {
+			return fmt.Errorf("variant %s deadlocked", row[0])
+		}
+		analyzable := row[4] == "yes"
+		if row[0] == "nested" && analyzable {
+			return fmt.Errorf("nested variant claims analyzability")
+		}
+		if row[0] == "collapsed" && !analyzable {
+			return fmt.Errorf("collapsed variant not analyzable")
+		}
+	}
+	return nil
+}
+
+// verifyE15: affinity never produces more global semaphores or larger
+// total blocking than first-fit.
+func verifyE15(t *Table) error {
+	for _, row := range t.Rows {
+		gFF, err := atoi(row[1])
+		if err != nil {
+			return err
+		}
+		gAff, err := atoi(row[2])
+		if err != nil {
+			return err
+		}
+		if gAff > gFF {
+			return fmt.Errorf("seed %s: affinity has more globals", row[0])
+		}
+		bFF, err := atoi(row[3])
+		if err != nil {
+			return err
+		}
+		bAff, err := atoi(row[4])
+		if err != nil {
+			return err
+		}
+		if bAff > bFF {
+			return fmt.Errorf("seed %s: affinity has larger total blocking", row[0])
+		}
+	}
+	return nil
+}
+
+// verifyE17: every found configuration simulates without misses.
+func verifyE17(t *Table) error {
+	for _, row := range t.Rows {
+		if row[3] == "none<=16" {
+			continue // honest "not found" rows
+		}
+		if row[5] != "0" {
+			return fmt.Errorf("seed %s: admitted minimal configuration missed", row[0])
+		}
+	}
+	return nil
+}

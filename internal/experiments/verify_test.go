@@ -1,0 +1,132 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"mpcp/internal/experiments"
+)
+
+// TestFullReproductionVerifies regenerates every artifact and checks it
+// against its acceptance criteria — the repository's end-to-end
+// reproduction gate. Skipped in -short mode (it runs every sweep).
+func TestFullReproductionVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction skipped in short mode")
+	}
+	for _, e := range experiments.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := experiments.Verify(tbl); err != nil {
+				t.Errorf("acceptance: %v", err)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsEmptyTable(t *testing.T) {
+	if err := experiments.Verify(&experiments.Table{ID: "E1"}); err == nil {
+		t.Error("empty table accepted")
+	}
+	if err := experiments.Verify(nil); err == nil {
+		t.Error("nil table accepted")
+	}
+}
+
+func TestVerifyRejectsRaggedRows(t *testing.T) {
+	tbl := &experiments.Table{
+		ID:     "E1",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1"}},
+	}
+	if err := experiments.Verify(tbl); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestVerifyDetectsBrokenE1(t *testing.T) {
+	tbl := &experiments.Table{
+		ID:     "E1",
+		Header: []string{"k", "none", "inherit", "cs"},
+		Rows: [][]string{
+			{"1", "3", "2", "4"},
+			{"2", "3", "2", "4"}, // not growing
+		},
+	}
+	if err := experiments.Verify(tbl); err == nil {
+		t.Error("non-growing E1 accepted")
+	}
+	tbl.Rows = [][]string{
+		{"1", "3", "2", "4"},
+		{"2", "4", "3", "4"}, // inherit not constant
+	}
+	if err := experiments.Verify(tbl); err == nil {
+		t.Error("varying inherit column accepted")
+	}
+}
+
+func TestVerifyDetectsBrokenE2(t *testing.T) {
+	tbl := &experiments.Table{
+		ID:     "E2",
+		Header: []string{"k", "inherit", "mpcp", "cs"},
+		Rows:   [][]string{{"1", "3", "9", "4"}}, // mpcp above cs bound
+	}
+	if err := experiments.Verify(tbl); err == nil {
+		t.Error("over-bound mpcp blocking accepted")
+	}
+}
+
+func TestVerifyDetectsBrokenE3(t *testing.T) {
+	tbl := &experiments.Table{
+		ID:     "E3",
+		Header: []string{"m", "u", "dyn", "first", "static"},
+		Rows:   [][]string{{"2", "0.1", "0", "-1", "0"}}, // dynamic did not miss
+	}
+	if err := experiments.Verify(tbl); err == nil {
+		t.Error("missing Dhall effect accepted")
+	}
+	tbl.Rows = [][]string{{"2", "0.1", "2", "22", "1"}} // static missed
+	if err := experiments.Verify(tbl); err == nil {
+		t.Error("static misses accepted")
+	}
+}
+
+func TestVerifyDetectsViolationColumns(t *testing.T) {
+	tbl := &experiments.Table{
+		ID:     "E8",
+		Header: []string{"seed", "procs", "gcs", "violations"},
+		Rows:   [][]string{{"1", "4", "100", "2"}},
+	}
+	if err := experiments.Verify(tbl); err == nil {
+		t.Error("nonzero violations accepted")
+	}
+}
+
+func TestVerifyDetectsBrokenE12(t *testing.T) {
+	tbl := &experiments.Table{
+		ID:     "E12",
+		Header: []string{"procs", "strategy", "bus txns", "busy", "avg", "max", "makespan"},
+		Rows: [][]string{
+			{"4", "tas-spin", "100", "0", "0", "0", "0"},
+			{"4", "cached-spin", "200", "0", "0", "0", "0"}, // worse than tas
+			{"4", "ipi-wait", "50", "0", "0", "0", "0"},
+		},
+	}
+	if err := experiments.Verify(tbl); err == nil {
+		t.Error("cached-spin worse than tas-spin accepted")
+	}
+}
+
+func TestVerifyStructuralOnlyForReportingTables(t *testing.T) {
+	tbl := &experiments.Table{
+		ID:     "E4",
+		Header: []string{"a"},
+		Rows:   [][]string{{"x"}},
+	}
+	if err := experiments.Verify(tbl); err != nil {
+		t.Errorf("reporting table rejected: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package paperex_test
+
+import (
+	"testing"
+
+	"mpcp/internal/paperex"
+	"mpcp/internal/task"
+)
+
+func TestExample3Shape(t *testing.T) {
+	sys, err := paperex.Example3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumProcs != 3 {
+		t.Fatalf("procs = %d, want 3", sys.NumProcs)
+	}
+	if len(sys.Tasks) != 7 {
+		t.Fatalf("tasks = %d, want 7", len(sys.Tasks))
+	}
+	// Binding of Figure 4-2.
+	wantProc := map[task.ID]task.ProcID{1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2, 7: 2}
+	for id, want := range wantProc {
+		if got := sys.TaskByID(id).Proc; got != want {
+			t.Errorf("tau%d on P%d, want P%d", id, got, want)
+		}
+	}
+	// Priority ordering P1 > P2 > ... > P7.
+	for i := task.ID(1); i < 7; i++ {
+		if sys.TaskByID(i).Priority <= sys.TaskByID(i+1).Priority {
+			t.Errorf("priority of tau%d not above tau%d", i, i+1)
+		}
+	}
+	// Semaphore locality per Section 4.2.
+	for _, c := range []struct {
+		sem    task.SemID
+		global bool
+	}{
+		{paperex.S1, false}, {paperex.S2, false}, {paperex.S3, false},
+		{paperex.SG1, true}, {paperex.SG2, true},
+	} {
+		if got := sys.SemByID(c.sem).Global; got != c.global {
+			t.Errorf("sem %d global = %v, want %v", c.sem, got, c.global)
+		}
+	}
+}
+
+func TestExample4Offsets(t *testing.T) {
+	sys, err := paperex.Example4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.TaskByID(2).Offset != 0 || sys.TaskByID(1).Offset != 2 {
+		t.Error("example 4 offsets wrong: J2 must lock its gcs before J1 arrives")
+	}
+}
+
+func TestExample1Scaling(t *testing.T) {
+	for _, n := range []int{4, 32} {
+		sys, err := paperex.Example1(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sys.TaskByID(2).WCET(); got != n {
+			t.Errorf("medium task WCET = %d, want %d", got, n)
+		}
+	}
+}
+
+func TestDhallRejectsSmallM(t *testing.T) {
+	if _, err := paperex.Dhall(1); err == nil {
+		t.Error("Dhall(1) accepted")
+	}
+}
+
+func TestDhallUtilizationShrinks(t *testing.T) {
+	// The Dhall construction's total utilization per processor shrinks
+	// toward 1/m as m grows (excluding the near-1 long task).
+	sys4, _ := paperex.Dhall(4)
+	sys16, _ := paperex.Dhall(16)
+	shortUtil := func(sys *task.System, m int) float64 {
+		u := 0.0
+		for _, tk := range sys.Tasks {
+			if tk.Name != "long" {
+				u += tk.Utilization()
+			}
+		}
+		return u / float64(m)
+	}
+	if !(shortUtil(sys16, 16) < shortUtil(sys4, 4)) {
+		t.Error("short-task utilization per processor should shrink with m")
+	}
+}

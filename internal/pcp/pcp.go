@@ -1,0 +1,218 @@
+// Package pcp implements the uniprocessor priority ceiling protocol of
+// [10] (Sha, Rajkumar, Lehoczky), which the shared-memory protocol uses
+// verbatim for all local semaphores (Section 5, rule 2): a job can lock a
+// local semaphore only if its priority is higher than the priority ceiling
+// of every local semaphore currently locked by other jobs on the same
+// processor; otherwise it blocks and the offending holder inherits its
+// priority.
+//
+// The package exposes two layers: Local, the per-processor machinery that
+// internal/core (MPCP) and internal/dpcp embed, and Protocol, a standalone
+// sim.Protocol for workloads whose semaphores are all local.
+package pcp
+
+import (
+	"fmt"
+
+	"mpcp/internal/sim"
+	"mpcp/internal/task"
+)
+
+// Local manages the local semaphores of one processor under the priority
+// ceiling protocol. It is deliberately ignorant of global semaphores; the
+// owning protocol composes it with its own global rules.
+type Local struct {
+	proc task.ProcID
+	ceil map[task.SemID]int
+
+	held      []heldSem
+	blockedBy map[*sim.Job]*sim.Job // blocked job -> holder that blocks it
+
+	// setPrio applies a recomputed local effective priority; the owner
+	// decides whether it wins over other concerns (e.g. gcs priorities).
+	setPrio func(e *sim.Engine, j *sim.Job, prio int)
+}
+
+type heldSem struct {
+	sem    task.SemID
+	holder *sim.Job
+}
+
+// NewLocal builds the per-processor PCP state for proc. Ceilings are the
+// priority of the highest-priority task that may lock each semaphore
+// (Section 4.4's definition for local semaphores). setPrio is invoked for
+// every priority recomputation; pass nil for the default, which calls
+// Engine.SetEffPrio directly.
+func NewLocal(sys *task.System, proc task.ProcID, setPrio func(e *sim.Engine, j *sim.Job, prio int)) *Local {
+	if setPrio == nil {
+		setPrio = func(e *sim.Engine, j *sim.Job, prio int) { e.SetEffPrio(j, prio) }
+	}
+	l := &Local{
+		proc:      proc,
+		ceil:      make(map[task.SemID]int),
+		blockedBy: make(map[*sim.Job]*sim.Job),
+		setPrio:   setPrio,
+	}
+	for _, sem := range sys.Sems {
+		if sem.Global {
+			continue
+		}
+		procs := sys.AccessorProcs(sem.ID)
+		if len(procs) != 1 || procs[0] != proc {
+			continue
+		}
+		users := sys.TasksUsing(sem.ID)
+		if len(users) > 0 {
+			l.ceil[sem.ID] = users[0].Priority // users sorted by descending priority
+		}
+	}
+	return l
+}
+
+// Manages reports whether this Local owns semaphore s.
+func (l *Local) Manages(s task.SemID) bool {
+	_, ok := l.ceil[s]
+	return ok
+}
+
+// Ceiling returns the priority ceiling of local semaphore s (0 if not
+// managed here).
+func (l *Local) Ceiling(s task.SemID) int { return l.ceil[s] }
+
+// TryLock applies the ceiling test for job j requesting s. On success the
+// lock is completed and true is returned; on failure j is blocked, the
+// offending holder inherits j's priority, and false is returned.
+func (l *Local) TryLock(e *sim.Engine, j *sim.Job, s task.SemID) bool {
+	blockerSem, blocker := l.highestCeilingHeldByOthers(j)
+	if blocker == nil || j.BasePrio > l.ceil[blockerSem] {
+		l.held = append(l.held, heldSem{sem: s, holder: j})
+		e.CompleteLock(j, s)
+		return true
+	}
+	l.blockedBy[j] = blocker
+	e.BlockLocal(j, blockerSem)
+	l.Recompute(e)
+	return false
+}
+
+// Unlock releases s held by j, readies every locally blocked job so it can
+// re-attempt its request under the new ceiling, and recomputes
+// inheritance.
+func (l *Local) Unlock(e *sim.Engine, j *sim.Job, s task.SemID) {
+	for i := len(l.held) - 1; i >= 0; i-- {
+		if l.held[i].sem == s && l.held[i].holder == j {
+			l.held = append(l.held[:i], l.held[i+1:]...)
+			break
+		}
+	}
+	for b := range l.blockedBy {
+		delete(l.blockedBy, b)
+		e.MakeReady(b) // re-attempts its Lock segment when scheduled
+	}
+	l.Recompute(e)
+}
+
+// highestCeilingHeldByOthers returns the semaphore with the highest
+// priority ceiling among local semaphores locked by jobs other than j,
+// together with its holder.
+func (l *Local) highestCeilingHeldByOthers(j *sim.Job) (task.SemID, *sim.Job) {
+	var (
+		bestSem    task.SemID = -1
+		bestHolder *sim.Job
+		bestCeil   int
+	)
+	for _, h := range l.held {
+		if h.holder == j {
+			continue
+		}
+		if c := l.ceil[h.sem]; bestHolder == nil || c > bestCeil {
+			bestSem, bestHolder, bestCeil = h.sem, h.holder, c
+		}
+	}
+	return bestSem, bestHolder
+}
+
+// Recompute reestablishes the transitive inheritance fixpoint among jobs
+// on this processor: a holder inherits the highest priority of the jobs it
+// blocks.
+func (l *Local) Recompute(e *sim.Engine) {
+	eff := make(map[*sim.Job]int)
+	var jobs []*sim.Job
+	for _, j := range e.ActiveJobs() {
+		if j.Proc != l.proc || j.IsAgent() {
+			continue
+		}
+		jobs = append(jobs, j)
+		eff[j] = j.BasePrio
+	}
+	for changed := true; changed; {
+		changed = false
+		for blocked, holder := range l.blockedBy {
+			if eff[blocked] > eff[holder] {
+				eff[holder] = eff[blocked]
+				changed = true
+			}
+		}
+	}
+	for _, j := range jobs {
+		l.setPrio(e, j, eff[j])
+	}
+}
+
+// DropJob clears any bookkeeping for a finished job.
+func (l *Local) DropJob(j *sim.Job) {
+	delete(l.blockedBy, j)
+}
+
+// Protocol is standalone uniprocessor PCP: every semaphore must be local
+// (accessed from a single processor). Use it to reproduce the paper's
+// Section 2 review behaviour and as the degenerate n=1 case the
+// shared-memory protocol reduces to.
+type Protocol struct {
+	locals map[task.ProcID]*Local
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// New returns a standalone PCP protocol.
+func New() *Protocol { return &Protocol{} }
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string { return "pcp" }
+
+// Init implements sim.Protocol.
+func (p *Protocol) Init(e *sim.Engine) error {
+	sys := e.Sys()
+	for _, sem := range sys.Sems {
+		if sem.Global {
+			return fmt.Errorf("pcp: semaphore %d is global; use the MPCP or DPCP protocol", sem.ID)
+		}
+	}
+	p.locals = make(map[task.ProcID]*Local, sys.NumProcs)
+	for i := 0; i < sys.NumProcs; i++ {
+		p.locals[task.ProcID(i)] = NewLocal(sys, task.ProcID(i), nil)
+	}
+	return nil
+}
+
+// OnRelease implements sim.Protocol.
+func (p *Protocol) OnRelease(e *sim.Engine, j *sim.Job) {
+	e.SetEffPrio(j, j.BasePrio)
+	e.MakeReady(j)
+}
+
+// TryLock implements sim.Protocol.
+func (p *Protocol) TryLock(e *sim.Engine, j *sim.Job, s task.SemID) bool {
+	return p.locals[j.Proc].TryLock(e, j, s)
+}
+
+// Unlock implements sim.Protocol.
+func (p *Protocol) Unlock(e *sim.Engine, j *sim.Job, s task.SemID) {
+	p.locals[j.Proc].Unlock(e, j, s)
+}
+
+// OnFinish implements sim.Protocol.
+func (p *Protocol) OnFinish(e *sim.Engine, j *sim.Job) {
+	p.locals[j.Proc].DropJob(j)
+	p.locals[j.Proc].Recompute(e)
+}

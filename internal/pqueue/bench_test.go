@@ -1,0 +1,43 @@
+package pqueue
+
+import "testing"
+
+func BenchmarkPushPop(b *testing.B) {
+	b.ReportAllocs()
+	var q Queue[int]
+	for i := 0; i < b.N; i++ {
+		q.Push(i, i%64)
+		if q.Len() > 128 {
+			for q.Len() > 0 {
+				q.Pop()
+			}
+		}
+	}
+}
+
+func BenchmarkPushPopOrdered(b *testing.B) {
+	b.ReportAllocs()
+	const window = 32
+	var q Queue[int]
+	for i := 0; i < b.N; i++ {
+		q.Push(i, i%7)
+		if q.Len() == window {
+			for q.Len() > 0 {
+				q.Pop()
+			}
+		}
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	var q Queue[int]
+	items := make([]*Item[int], 64)
+	for i := range items {
+		items[i] = q.Push(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Update(items[i%len(items)], i%128)
+	}
+}

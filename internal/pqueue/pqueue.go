@@ -1,0 +1,141 @@
+// Package pqueue provides the priority-ordered queues used throughout the
+// library: semaphore wait queues, ready queues and the release calendar.
+//
+// The paper requires that "jobs suspended on a semaphore are signaled in
+// priority order" (Section 5, rule 7) and that ties are broken FCFS
+// (Section 3.1). Queue behaves exactly that way: Pop returns the item with
+// the numerically largest priority, and among equal priorities the item
+// that was pushed first.
+package pqueue
+
+import "container/heap"
+
+// Item is an entry in a Queue.
+type Item[T any] struct {
+	Value    T
+	Priority int
+
+	seq   uint64 // insertion order for FCFS tie-break
+	index int    // heap index, -1 when not queued
+}
+
+// Queue is a max-priority queue with FCFS tie-breaking. The zero value is
+// an empty queue ready to use.
+type Queue[T any] struct {
+	h   itemHeap[T]
+	seq uint64
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.h) }
+
+// Push inserts value with the given priority and returns the item handle,
+// which can later be passed to Remove or Update.
+func (q *Queue[T]) Push(value T, priority int) *Item[T] {
+	it := &Item[T]{Value: value, Priority: priority, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, it)
+	return it
+}
+
+// Pop removes and returns the highest-priority item. Among items with equal
+// priority the earliest-pushed one is returned. ok is false when the queue
+// is empty.
+func (q *Queue[T]) Pop() (value T, ok bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return zero, false
+	}
+	it, popOK := heap.Pop(&q.h).(*Item[T])
+	if !popOK {
+		var zero T
+		return zero, false
+	}
+	it.index = -1
+	return it.Value, true
+}
+
+// Peek returns the highest-priority item without removing it. ok is false
+// when the queue is empty.
+func (q *Queue[T]) Peek() (value T, ok bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.h[0].Value, true
+}
+
+// PeekPriority returns the priority of the head item. ok is false when the
+// queue is empty.
+func (q *Queue[T]) PeekPriority() (priority int, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].Priority, true
+}
+
+// Remove deletes it from the queue. Removing an item that has already been
+// popped or removed is a no-op.
+func (q *Queue[T]) Remove(it *Item[T]) {
+	if it == nil || it.index < 0 || it.index >= len(q.h) || q.h[it.index] != it {
+		return
+	}
+	heap.Remove(&q.h, it.index)
+	it.index = -1
+}
+
+// Update changes the priority of a queued item in place. The item keeps its
+// original insertion order for tie-breaking. Updating a removed item is a
+// no-op.
+func (q *Queue[T]) Update(it *Item[T], priority int) {
+	if it == nil || it.index < 0 || it.index >= len(q.h) || q.h[it.index] != it {
+		return
+	}
+	it.Priority = priority
+	heap.Fix(&q.h, it.index)
+}
+
+// Items returns the queued values in heap order (not sorted). Callers that
+// need sorted order should Pop repeatedly; Items exists for inspection.
+func (q *Queue[T]) Items() []T {
+	out := make([]T, 0, len(q.h))
+	for _, it := range q.h {
+		out = append(out, it.Value)
+	}
+	return out
+}
+
+type itemHeap[T any] []*Item[T]
+
+func (h itemHeap[T]) Len() int { return len(h) }
+
+func (h itemHeap[T]) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority // max-heap
+	}
+	return h[i].seq < h[j].seq // FCFS among equal priorities
+}
+
+func (h itemHeap[T]) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *itemHeap[T]) Push(x any) {
+	it, ok := x.(*Item[T])
+	if !ok {
+		return
+	}
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *itemHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}

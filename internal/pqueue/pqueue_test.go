@@ -1,0 +1,220 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var q Queue[string]
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue returned ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty queue returned ok")
+	}
+	if _, ok := q.PeekPriority(); ok {
+		t.Error("PeekPriority on empty queue returned ok")
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	var q Queue[string]
+	q.Push("low", 1)
+	q.Push("high", 9)
+	q.Push("mid", 5)
+
+	want := []string{"high", "mid", "low"}
+	for _, w := range want {
+		got, ok := q.Pop()
+		if !ok || got != w {
+			t.Fatalf("Pop = %q, %v; want %q", got, ok, w)
+		}
+	}
+}
+
+func TestFCFSTieBreak(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 10; i++ {
+		q.Push(i, 7)
+	}
+	for i := 0; i < 10; i++ {
+		got, ok := q.Pop()
+		if !ok || got != i {
+			t.Fatalf("Pop #%d = %d, %v; want %d (FCFS among equal priorities)", i, got, ok, i)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var q Queue[string]
+	a := q.Push("a", 3)
+	q.Push("b", 2)
+	q.Remove(a)
+	q.Remove(a) // double-remove is a no-op
+	got, ok := q.Pop()
+	if !ok || got != "b" {
+		t.Fatalf("Pop = %q, %v; want b", got, ok)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+}
+
+func TestRemoveAfterPop(t *testing.T) {
+	var q Queue[string]
+	a := q.Push("a", 3)
+	if v, ok := q.Pop(); !ok || v != "a" {
+		t.Fatalf("Pop = %q, %v", v, ok)
+	}
+	q.Remove(a) // must not corrupt the (empty) heap
+	q.Push("b", 1)
+	if v, ok := q.Pop(); !ok || v != "b" {
+		t.Fatalf("Pop = %q, %v; want b", v, ok)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	var q Queue[string]
+	a := q.Push("a", 1)
+	q.Push("b", 5)
+	q.Update(a, 10)
+	if v, _ := q.Pop(); v != "a" {
+		t.Fatalf("after Update, Pop = %q, want a", v)
+	}
+}
+
+func TestUpdatePreservesFCFSSeq(t *testing.T) {
+	var q Queue[string]
+	a := q.Push("a", 1)
+	q.Push("b", 5)
+	q.Update(a, 5) // same priority as b, but a was pushed first
+	if v, _ := q.Pop(); v != "a" {
+		t.Fatalf("Pop = %q, want a (older seq wins ties)", v)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue[int]
+	q.Push(41, 2)
+	q.Push(42, 8)
+	if v, ok := q.Peek(); !ok || v != 42 {
+		t.Fatalf("Peek = %d, %v; want 42", v, ok)
+	}
+	if p, ok := q.PeekPriority(); !ok || p != 8 {
+		t.Fatalf("PeekPriority = %d, %v; want 8", p, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Peek consumed an item: Len = %d", q.Len())
+	}
+}
+
+// TestQuickPopOrder property: popping everything yields priorities in
+// non-increasing order, regardless of push order.
+func TestQuickPopOrder(t *testing.T) {
+	f := func(prios []int16) bool {
+		var q Queue[int]
+		for i, p := range prios {
+			q.Push(i, int(p))
+		}
+		last := int(1) << 30
+		for q.Len() > 0 {
+			p, _ := q.PeekPriority()
+			if p > last {
+				return false
+			}
+			last = p
+			q.Pop()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConservation property: every pushed value is popped exactly
+// once, interleaving removes.
+func TestQuickConservation(t *testing.T) {
+	f := func(prios []int8, removeMask []bool) bool {
+		var q Queue[int]
+		items := make([]*Item[int], len(prios))
+		for i, p := range prios {
+			items[i] = q.Push(i, int(p))
+		}
+		removed := make(map[int]bool)
+		for i, it := range items {
+			if i < len(removeMask) && removeMask[i] {
+				q.Remove(it)
+				removed[i] = true
+			}
+		}
+		seen := make(map[int]bool)
+		for {
+			v, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if seen[v] || removed[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(seen) == len(prios)-len(removed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMatchesSort property: popping a randomly built queue matches a
+// stable sort by (priority desc, insertion order asc).
+func TestQuickMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(50)
+		type rec struct{ prio, seq int }
+		var q Queue[rec]
+		var want []rec
+		for i := 0; i < n; i++ {
+			r := rec{prio: rng.Intn(8), seq: i}
+			q.Push(r, r.prio)
+			want = append(want, r)
+		}
+		sort.SliceStable(want, func(a, b int) bool { return want[a].prio > want[b].prio })
+		for i := 0; i < n; i++ {
+			got, ok := q.Pop()
+			if !ok || got != want[i] {
+				t.Fatalf("trial %d item %d: got %+v ok=%v, want %+v", trial, i, got, ok, want[i])
+			}
+		}
+	}
+}
+
+func TestItems(t *testing.T) {
+	var q Queue[string]
+	if got := q.Items(); len(got) != 0 {
+		t.Errorf("empty Items = %v", got)
+	}
+	q.Push("a", 1)
+	q.Push("b", 2)
+	items := q.Items()
+	if len(items) != 2 {
+		t.Fatalf("Items = %v, want 2 entries", items)
+	}
+	seen := map[string]bool{}
+	for _, v := range items {
+		seen[v] = true
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Errorf("Items missing values: %v", items)
+	}
+	if q.Len() != 2 {
+		t.Error("Items consumed the queue")
+	}
+}

@@ -1,0 +1,240 @@
+// Package server provides aperiodic task service through a periodic
+// server, as Section 3.1 assumes ("an aperiodic task can be serviced by
+// means of a periodic server [5]"). A polling server is a periodic task
+// with a computation budget; aperiodic work queued at the server's
+// invocation is served FCFS from that budget, and the scheduling of the
+// server task itself — including all blocking it suffers under a
+// synchronization protocol — comes from the ordinary simulator.
+//
+// The split of responsibilities keeps the engine protocol-agnostic: build
+// the server task with Task, simulate the system with a trace, then
+// replay the server's executed ticks against the aperiodic stream with
+// ServePolling to obtain per-request response times.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mpcp/internal/task"
+	"mpcp/internal/trace"
+)
+
+// Request is one aperiodic arrival: Work ticks of demand arriving at
+// Arrival.
+type Request struct {
+	ID      int
+	Arrival int
+	Work    int
+}
+
+// Served is a request with its computed completion.
+type Served struct {
+	Request
+	Completion int // -1 if unfinished within the trace horizon
+}
+
+// Response returns completion minus arrival, or -1 if unfinished.
+func (s Served) Response() int {
+	if s.Completion < 0 {
+		return -1
+	}
+	return s.Completion - s.Arrival
+}
+
+// Config describes a polling server task.
+type Config struct {
+	TaskID   task.ID
+	Name     string
+	Proc     task.ProcID
+	Period   int
+	Budget   int
+	Offset   int
+	Priority int // 0 when rate-monotonic assignment is used at Build
+}
+
+// Task builds the periodic server task: a plain compute body of Budget
+// ticks. The engine schedules (and charges blocking to) this task like
+// any other; unclaimed budget is modeled as consumed, which is the
+// conservative interference assumption for lower-priority tasks.
+func Task(cfg Config) (*task.Task, error) {
+	if cfg.Period <= 0 || cfg.Budget <= 0 || cfg.Budget >= cfg.Period {
+		return nil, fmt.Errorf("server: need 0 < budget < period, got %d/%d", cfg.Budget, cfg.Period)
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "polling-server"
+	}
+	return &task.Task{
+		ID:       cfg.TaskID,
+		Name:     name,
+		Proc:     cfg.Proc,
+		Period:   cfg.Period,
+		Offset:   cfg.Offset,
+		Priority: cfg.Priority,
+		Body:     []task.Segment{task.Compute(cfg.Budget)},
+	}, nil
+}
+
+// ErrNoTrace is returned when the trace holds no execution ticks for the
+// server task.
+var ErrNoTrace = errors.New("server: trace has no execution ticks for the server task")
+
+// ServePolling replays the server's executed ticks (from a recorded
+// trace) against the aperiodic request stream under strict polling
+// semantics: a server instance serves only requests that arrived before
+// its first executed tick; budget left when the queue empties is lost.
+// Requests are served FCFS. Unfinished requests have Completion -1.
+func ServePolling(log *trace.Log, serverID task.ID, reqs []Request) ([]Served, error) {
+	// Group the server's executed ticks by job instance.
+	type instance struct {
+		index int
+		ticks []int
+	}
+	byJob := make(map[int][]int)
+	for _, x := range log.Execs {
+		if x.Task == serverID {
+			byJob[x.Job] = append(byJob[x.Job], x.Time)
+		}
+	}
+	if len(byJob) == 0 {
+		return nil, ErrNoTrace
+	}
+	instances := make([]instance, 0, len(byJob))
+	for idx, ticks := range byJob {
+		sort.Ints(ticks)
+		instances = append(instances, instance{index: idx, ticks: ticks})
+	}
+	sort.Slice(instances, func(i, j int) bool { return instances[i].ticks[0] < instances[j].ticks[0] })
+
+	pending := make([]Served, len(reqs))
+	for i, r := range reqs {
+		pending[i] = Served{Request: r, Completion: -1}
+	}
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Arrival < pending[j].Arrival })
+
+	remaining := make([]int, len(pending))
+	for i := range pending {
+		remaining[i] = pending[i].Work
+	}
+
+	head := 0 // first request not yet completed
+	for _, inst := range instances {
+		pollTime := inst.ticks[0]
+		for _, tick := range inst.ticks {
+			// Advance past completed requests.
+			for head < len(pending) && remaining[head] == 0 {
+				head++
+			}
+			if head >= len(pending) {
+				break
+			}
+			// Strict polling: serve only work present at the poll instant.
+			if pending[head].Arrival > pollTime {
+				break // queue was empty at polling time; budget tick lost
+			}
+			remaining[head]--
+			if remaining[head] == 0 {
+				pending[head].Completion = tick + 1
+			}
+		}
+	}
+	// Restore the caller's order by ID.
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].ID < pending[j].ID })
+	return pending, nil
+}
+
+// ServeDeferrable replays the server's executed ticks under
+// bandwidth-preserving semantics: unlike strict polling, work arriving
+// *during* a server slot is served by the remaining budget of that slot
+// (the deferrable-server behaviour of [5] restricted to the slot the
+// engine scheduled — the engine's fixed-budget server body is an upper
+// bound on the interference a true deferrable server causes, so periodic
+// guarantees are unaffected). Requests are served FCFS.
+func ServeDeferrable(log *trace.Log, serverID task.ID, reqs []Request) ([]Served, error) {
+	var ticks []int
+	for _, x := range log.Execs {
+		if x.Task == serverID {
+			ticks = append(ticks, x.Time)
+		}
+	}
+	if len(ticks) == 0 {
+		return nil, ErrNoTrace
+	}
+	sort.Ints(ticks)
+
+	pending := make([]Served, len(reqs))
+	for i, r := range reqs {
+		pending[i] = Served{Request: r, Completion: -1}
+	}
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Arrival < pending[j].Arrival })
+	remaining := make([]int, len(pending))
+	for i := range pending {
+		remaining[i] = pending[i].Work
+	}
+
+	head := 0
+	for _, tick := range ticks {
+		for head < len(pending) && remaining[head] == 0 {
+			head++
+		}
+		if head >= len(pending) {
+			break
+		}
+		if pending[head].Arrival > tick {
+			continue // nothing eligible yet; this budget tick is idle
+		}
+		remaining[head]--
+		if remaining[head] == 0 {
+			pending[head].Completion = tick + 1
+		}
+	}
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].ID < pending[j].ID })
+	return pending, nil
+}
+
+// PollingResponseBound returns the classic worst-case response bound of a
+// polling server for a request of the given work: the request can just
+// miss a poll (one full period), then needs ceil(work/budget) server
+// instances, each completing by its period's end.
+func PollingResponseBound(period, budget, work int) int {
+	if budget <= 0 || work <= 0 {
+		return 0
+	}
+	instances := (work + budget - 1) / budget
+	return period + instances*period
+}
+
+// GenerateStream builds a deterministic pseudo-Poisson aperiodic stream:
+// exponential interarrivals with the given mean, work uniform in
+// [workMin, workMax], truncated at horizon.
+func GenerateStream(seed int64, horizon int, meanInterarrival float64, workMin, workMax int) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Request
+	t := 0.0
+	id := 0
+	for {
+		t += rng.ExpFloat64() * meanInterarrival
+		at := int(math.Floor(t))
+		if at >= horizon {
+			return out
+		}
+		w := workMin
+		if workMax > workMin {
+			w += rng.Intn(workMax - workMin + 1)
+		}
+		out = append(out, Request{ID: id, Arrival: at, Work: w})
+		id++
+	}
+}
+
+// Utilization returns the server's bandwidth Budget/Period.
+func Utilization(cfg Config) float64 {
+	if cfg.Period == 0 {
+		return 0
+	}
+	return float64(cfg.Budget) / float64(cfg.Period)
+}

@@ -1,0 +1,49 @@
+package shmem
+
+import "testing"
+
+func benchContention(b *testing.B, s Strategy) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateContention(ContentionConfig{
+			Procs: 8, Rounds: 20, CSCycles: 25, BusCycles: 8, IPICycles: 30, Strategy: s,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContentionTASSpin(b *testing.B)    { benchContention(b, TASSpin) }
+func BenchmarkContentionCachedSpin(b *testing.B) { benchContention(b, CachedSpin) }
+func BenchmarkContentionIPIWait(b *testing.B)    { benchContention(b, IPIWait) }
+
+func BenchmarkCoherenceReadHit(b *testing.B) {
+	sim, err := NewCoherenceSim(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sim.Read(0, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Read(0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoherencePingPong(b *testing.B) {
+	sim, err := NewCoherenceSim(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Write(i%2, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package shmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The paper's multiprocessor (Figure 4-1) keeps code and local data in
+// per-processor local memory and uses the per-processor caches only for
+// globally shared data, with "a hardware mechanism such as bus snooping
+// ... to maintain data coherence". CoherenceSim is that mechanism as a
+// deterministic MSI snooping model: every cache line is Modified, Shared
+// or Invalid in each cache; reads and writes cost bus transactions
+// exactly when coherence requires them. It validates the premise behind
+// the cached-spin discipline of Section 5.4 — spinning reads hit locally
+// until the releaser's write invalidates the line.
+
+// LineState is the MSI state of a cache line in one cache.
+type LineState int
+
+// MSI states.
+const (
+	Invalid LineState = iota
+	Shared
+	Modified
+)
+
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("LineState(%d)", int(s))
+	}
+}
+
+// CacheStats counts coherence activity.
+type CacheStats struct {
+	Reads           int64
+	Writes          int64
+	ReadHits        int64
+	WriteHits       int64
+	BusTransactions int64 // fills, upgrades and write-backs on the bus
+	Invalidations   int64 // lines invalidated in peer caches
+	WriteBacks      int64 // dirty lines flushed to shared memory
+}
+
+// CoherenceSim models numProcs snooping caches over a set of shared
+// lines. The zero value is not usable; construct with NewCoherenceSim.
+// All operations are deterministic and sequential (the backplane bus
+// serializes them, as in the paper's architecture).
+type CoherenceSim struct {
+	numProcs int
+	state    map[int][]LineState // line -> per-processor state
+	stats    CacheStats
+}
+
+// NewCoherenceSim builds a coherence model for numProcs processors.
+func NewCoherenceSim(numProcs int) (*CoherenceSim, error) {
+	if numProcs <= 0 {
+		return nil, errors.New("shmem: numProcs must be positive")
+	}
+	return &CoherenceSim{
+		numProcs: numProcs,
+		state:    make(map[int][]LineState),
+	}, nil
+}
+
+func (c *CoherenceSim) line(line int) []LineState {
+	st := c.state[line]
+	if st == nil {
+		st = make([]LineState, c.numProcs)
+		c.state[line] = st
+	}
+	return st
+}
+
+func (c *CoherenceSim) checkProc(proc int) error {
+	if proc < 0 || proc >= c.numProcs {
+		return fmt.Errorf("shmem: processor %d out of range [0,%d)", proc, c.numProcs)
+	}
+	return nil
+}
+
+// Read performs a processor read of a shared line. It returns true when
+// the access hit in the local cache (no bus transaction).
+func (c *CoherenceSim) Read(proc, line int) (hit bool, err error) {
+	if err := c.checkProc(proc); err != nil {
+		return false, err
+	}
+	st := c.line(line)
+	c.stats.Reads++
+	if st[proc] != Invalid {
+		c.stats.ReadHits++
+		return true, nil
+	}
+	// Miss: fetch over the bus. A peer holding the line Modified must
+	// write it back (snoop intervention).
+	c.stats.BusTransactions++
+	for p, s := range st {
+		if p != proc && s == Modified {
+			st[p] = Shared
+			c.stats.WriteBacks++
+			c.stats.BusTransactions++
+		}
+	}
+	st[proc] = Shared
+	return false, nil
+}
+
+// Write performs a processor write of a shared line. It returns true when
+// the access hit locally in Modified state (no bus transaction).
+func (c *CoherenceSim) Write(proc, line int) (hit bool, err error) {
+	if err := c.checkProc(proc); err != nil {
+		return false, err
+	}
+	st := c.line(line)
+	c.stats.Writes++
+	if st[proc] == Modified {
+		c.stats.WriteHits++
+		return true, nil
+	}
+	// Upgrade or fill-exclusive: one bus transaction, invalidating peers.
+	c.stats.BusTransactions++
+	for p, s := range st {
+		if p == proc || s == Invalid {
+			continue
+		}
+		if s == Modified {
+			c.stats.WriteBacks++
+			c.stats.BusTransactions++
+		}
+		st[p] = Invalid
+		c.stats.Invalidations++
+	}
+	st[proc] = Modified
+	return false, nil
+}
+
+// State reports the MSI state of line in proc's cache.
+func (c *CoherenceSim) State(proc, line int) LineState {
+	if proc < 0 || proc >= c.numProcs {
+		return Invalid
+	}
+	return c.line(line)[proc]
+}
+
+// Stats returns a copy of the accumulated counters.
+func (c *CoherenceSim) Stats() CacheStats { return c.stats }
+
+// SpinReadSequence models one waiter executing n spin iterations on a
+// cached lock word followed by the holder's release write, and returns
+// the bus transactions consumed. It demonstrates the Section 5.4 claim:
+// after the first fill, spin reads are free until the release invalidates
+// the line (cost independent of n).
+func SpinReadSequence(waiters, spinsEach int) (busTransactions int64, err error) {
+	if waiters <= 0 || spinsEach <= 0 {
+		return 0, errors.New("shmem: waiters and spinsEach must be positive")
+	}
+	sim, err := NewCoherenceSim(waiters + 1)
+	if err != nil {
+		return 0, err
+	}
+	const lockLine = 0
+	holder := waiters // last processor holds the lock
+	if _, err := sim.Write(holder, lockLine); err != nil {
+		return 0, err
+	}
+	for s := 0; s < spinsEach; s++ {
+		for w := 0; w < waiters; w++ {
+			if _, err := sim.Read(w, lockLine); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// Release write invalidates every spinner's copy.
+	if _, err := sim.Write(holder, lockLine); err != nil {
+		return 0, err
+	}
+	return sim.Stats().BusTransactions, nil
+}

@@ -1,0 +1,156 @@
+package shmem_test
+
+import (
+	"testing"
+
+	"mpcp/internal/shmem"
+)
+
+func newSim(t *testing.T, procs int) *shmem.CoherenceSim {
+	t.Helper()
+	c, err := shmem.NewCoherenceSim(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMSIBasicTransitions(t *testing.T) {
+	c := newSim(t, 2)
+
+	// Cold read: miss, line Shared.
+	hit, err := c.Read(0, 1)
+	if err != nil || hit {
+		t.Fatalf("cold read: hit=%v err=%v", hit, err)
+	}
+	if got := c.State(0, 1); got != shmem.Shared {
+		t.Fatalf("state = %v, want S", got)
+	}
+	// Re-read: hit.
+	if hit, _ := c.Read(0, 1); !hit {
+		t.Fatal("warm read missed")
+	}
+	// Peer read: miss for the peer, both Shared.
+	if hit, _ := c.Read(1, 1); hit {
+		t.Fatal("peer cold read hit")
+	}
+	// Write by P0: upgrade, invalidates P1.
+	if hit, _ := c.Write(0, 1); hit {
+		t.Fatal("upgrade counted as hit")
+	}
+	if got := c.State(0, 1); got != shmem.Modified {
+		t.Fatalf("P0 state = %v, want M", got)
+	}
+	if got := c.State(1, 1); got != shmem.Invalid {
+		t.Fatalf("P1 state = %v, want I", got)
+	}
+	// Write again: hit in M.
+	if hit, _ := c.Write(0, 1); !hit {
+		t.Fatal("write to M missed")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestSnoopIntervention(t *testing.T) {
+	c := newSim(t, 2)
+	if _, err := c.Write(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	// P1 reads a line P0 holds Modified: P0 writes back, both Shared.
+	if hit, _ := c.Read(1, 7); hit {
+		t.Fatal("read of remote-modified line hit")
+	}
+	if c.State(0, 7) != shmem.Shared || c.State(1, 7) != shmem.Shared {
+		t.Errorf("states = %v/%v, want S/S", c.State(0, 7), c.State(1, 7))
+	}
+	if wb := c.Stats().WriteBacks; wb != 1 {
+		t.Errorf("write-backs = %d, want 1", wb)
+	}
+}
+
+func TestWriteStealsModifiedLine(t *testing.T) {
+	c := newSim(t, 2)
+	if _, err := c.Write(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if c.State(0, 3) != shmem.Invalid || c.State(1, 3) != shmem.Modified {
+		t.Errorf("states = %v/%v, want I/M", c.State(0, 3), c.State(1, 3))
+	}
+	st := c.Stats()
+	if st.WriteBacks != 1 || st.Invalidations != 1 {
+		t.Errorf("stats = %+v, want 1 write-back and 1 invalidation", st)
+	}
+}
+
+func TestPingPongCost(t *testing.T) {
+	// Alternating writers ping-pong the line: every write is a bus
+	// transaction; no hits.
+	c := newSim(t, 2)
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		if hit, _ := c.Write(i%2, 0); hit {
+			t.Fatalf("round %d: ping-pong write hit", i)
+		}
+	}
+	st := c.Stats()
+	if st.WriteHits != 0 {
+		t.Errorf("write hits = %d, want 0", st.WriteHits)
+	}
+	if st.BusTransactions < rounds {
+		t.Errorf("bus transactions = %d, want >= %d", st.BusTransactions, rounds)
+	}
+}
+
+func TestSpinReadsAreFreeUntilRelease(t *testing.T) {
+	// The Section 5.4 premise: cached spinning costs O(waiters) bus
+	// transactions regardless of spin count.
+	few, err := shmem.SpinReadSequence(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := shmem.SpinReadSequence(4, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if few != many {
+		t.Errorf("bus cost depends on spin count: %d vs %d", few, many)
+	}
+	// More waiters => proportionally more fills/write-backs, still
+	// bounded and spin-count independent.
+	more, err := shmem.SpinReadSequence(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more <= few {
+		t.Errorf("more waiters should cost more fills: %d vs %d", more, few)
+	}
+}
+
+func TestCoherenceErrors(t *testing.T) {
+	if _, err := shmem.NewCoherenceSim(0); err == nil {
+		t.Error("zero processors accepted")
+	}
+	c := newSim(t, 2)
+	if _, err := c.Read(5, 0); err == nil {
+		t.Error("out-of-range processor accepted on Read")
+	}
+	if _, err := c.Write(-1, 0); err == nil {
+		t.Error("out-of-range processor accepted on Write")
+	}
+	if _, err := shmem.SpinReadSequence(0, 5); err == nil {
+		t.Error("zero waiters accepted")
+	}
+}
+
+func TestStateQueryOutOfRange(t *testing.T) {
+	c := newSim(t, 1)
+	if got := c.State(9, 0); got != shmem.Invalid {
+		t.Errorf("State out of range = %v, want Invalid", got)
+	}
+}

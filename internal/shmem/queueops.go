@@ -1,0 +1,127 @@
+package shmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Section 5.4 describes the concrete shared-memory layout of a global
+// semaphore: the semaphore word S_g itself, a user-transparent guard
+// semaphore S_x protecting the priority-ordered waiter queue, and the
+// queue's linked-list nodes. QueueOpModel prices the three protocol
+// operations — uncontended acquire, enqueue-and-suspend, and
+// release-with-handover — in bus transactions, by replaying their memory
+// accesses against the MSI coherence model. This grounds the abstract
+// costs used by SimulateContention in the cache behaviour the paper
+// appeals to ("the task spins on the cache entry until the lock is
+// released").
+
+// QueueOpCosts reports the bus transactions of each protocol operation.
+type QueueOpCosts struct {
+	// Acquire is an uncontended P(S_g): one read-modify-write of the
+	// semaphore word.
+	Acquire int64
+	// Enqueue is a failed P(S_g) followed by guarded queue insertion:
+	// TAS on S_g, acquire S_x, walk/insert the priority list, release
+	// S_x.
+	Enqueue int64
+	// Release is V(S_g) with a waiter: acquire S_x, unlink the head
+	// waiter, release S_x, transfer S_g, and signal the waiter.
+	Release int64
+}
+
+// QueueOpModel replays the Section 5.4 memory-access sequences for a
+// semaphore with the given number of queued waiters, each on its own
+// processor, and returns the bus-transaction costs. listNodesTouched is
+// how many queue nodes the insertion walk inspects (1 for an empty or
+// head insertion, up to the queue length for a tail insertion).
+func QueueOpModel(waiters, listNodesTouched int) (*QueueOpCosts, error) {
+	if waiters < 0 || listNodesTouched < 0 {
+		return nil, errors.New("shmem: negative parameters")
+	}
+	if listNodesTouched > waiters+1 {
+		return nil, fmt.Errorf("shmem: insertion cannot touch %d nodes with %d waiters", listNodesTouched, waiters)
+	}
+	// Memory layout: line 0 = S_g, line 1 = S_x, line 2 = queue head,
+	// lines 3.. = one node per waiter.
+	const (
+		lineSg   = 0
+		lineSx   = 1
+		lineHead = 2
+		lineNode = 3
+	)
+	procs := waiters + 2 // waiters, one holder, one releaser/requester
+	sim, err := NewCoherenceSim(procs)
+	if err != nil {
+		return nil, err
+	}
+	holder := procs - 2
+	requester := procs - 1
+
+	cost := func() int64 { return sim.Stats().BusTransactions }
+	must := func(_ bool, err error) error { return err }
+
+	// --- Uncontended acquire: RMW on S_g.
+	before := cost()
+	if err := must(sim.Write(holder, lineSg)); err != nil {
+		return nil, err
+	}
+	acquire := cost() - before
+
+	// --- Enqueue: failed TAS on S_g, take S_x, read head, walk nodes,
+	// write own node + predecessor link, release S_x.
+	before = cost()
+	if err := must(sim.Write(requester, lineSg)); err != nil { // failed TAS still owns the line
+		return nil, err
+	}
+	if err := must(sim.Write(requester, lineSx)); err != nil { // acquire guard
+		return nil, err
+	}
+	if err := must(sim.Read(requester, lineHead)); err != nil {
+		return nil, err
+	}
+	for n := 0; n < listNodesTouched; n++ {
+		if err := must(sim.Read(requester, lineNode+n)); err != nil {
+			return nil, err
+		}
+	}
+	if err := must(sim.Write(requester, lineNode+waiters)); err != nil { // own node
+		return nil, err
+	}
+	if err := must(sim.Write(requester, lineHead)); err != nil { // link in
+		return nil, err
+	}
+	if err := must(sim.Write(requester, lineSx)); err != nil { // release guard
+		return nil, err
+	}
+	enqueue := cost() - before
+
+	// --- Release with handover: take S_x, read head, unlink, release
+	// S_x, transfer S_g (write), signal waiter (write to its node —
+	// models the status field / interprocessor signal).
+	before = cost()
+	if err := must(sim.Write(holder, lineSx)); err != nil {
+		return nil, err
+	}
+	if err := must(sim.Read(holder, lineHead)); err != nil {
+		return nil, err
+	}
+	if err := must(sim.Read(holder, lineNode)); err != nil {
+		return nil, err
+	}
+	if err := must(sim.Write(holder, lineHead)); err != nil {
+		return nil, err
+	}
+	if err := must(sim.Write(holder, lineSx)); err != nil {
+		return nil, err
+	}
+	if err := must(sim.Write(holder, lineSg)); err != nil {
+		return nil, err
+	}
+	if err := must(sim.Write(holder, lineNode)); err != nil {
+		return nil, err
+	}
+	release := cost() - before
+
+	return &QueueOpCosts{Acquire: acquire, Enqueue: enqueue, Release: release}, nil
+}

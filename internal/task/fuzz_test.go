@@ -1,0 +1,55 @@
+package task
+
+import "testing"
+
+// FuzzValidateBody feeds arbitrary segment streams through validation:
+// it must never panic, and whatever it accepts must expose consistent
+// critical-section structure.
+func FuzzValidateBody(f *testing.F) {
+	f.Add([]byte{0, 5, 1, 1, 0, 3, 2, 1}) // compute, lock 1, compute, unlock 1
+	f.Add([]byte{1, 1, 1, 2, 2, 2, 2, 1}) // nested pair
+	f.Add([]byte{2, 1})                   // unlock without lock
+	f.Add([]byte{1, 1})                   // never released
+	f.Add([]byte{1, 1, 1, 1})             // self relock
+	f.Add([]byte{})                       // empty body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys := NewSystem(1)
+		for s := SemID(1); s <= 4; s++ {
+			sys.AddSem(&Semaphore{ID: s})
+		}
+		var body []Segment
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%3, data[i+1]
+			switch op {
+			case 0:
+				body = append(body, Compute(int(arg%32)))
+			case 1:
+				body = append(body, Lock(SemID(arg%4+1)))
+			case 2:
+				body = append(body, Unlock(SemID(arg%4+1)))
+			}
+		}
+		if len(body) == 0 {
+			body = []Segment{Compute(1)}
+		}
+		sys.AddTask(&Task{ID: 1, Proc: 0, Period: 1000, Priority: 1, Body: body})
+
+		if err := sys.Validate(ValidateOptions{AllowNestedGlobal: true}); err != nil {
+			return
+		}
+		// Accepted: the derived structure must be consistent.
+		total := 0
+		for _, cs := range sys.CriticalSections(1) {
+			if cs.Duration < 0 || cs.StartSeg >= cs.EndSeg {
+				t.Fatalf("bad critical section %+v", cs)
+			}
+			if cs.Outermost {
+				total += cs.Duration
+			}
+		}
+		if total > sys.TaskByID(1).WCET() {
+			t.Fatalf("outermost CS time %d exceeds WCET %d", total, sys.TaskByID(1).WCET())
+		}
+	})
+}

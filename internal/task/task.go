@@ -1,0 +1,561 @@
+// Package task defines the workload model of the paper: periodic tasks
+// statically bound to processors (Section 3.2), whose jobs are sequences of
+// compute segments interleaved with P()/V() operations on binary semaphores
+// (Section 3.1). It also derives the structural facts every protocol and
+// every analysis needs: which semaphores are global, which critical
+// sections belong to which task, and the priority ceilings of Section 4.
+package task
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ID identifies a task within a System.
+type ID int
+
+// SemID identifies a semaphore within a System.
+type SemID int
+
+// ProcID identifies a processor. Processors are numbered 0..NumProcs-1.
+type ProcID int
+
+// SegmentKind discriminates the instructions in a job body.
+type SegmentKind int
+
+// Segment kinds. Compute consumes time; Lock and Unlock are the indivisible
+// P(S) and V(S) operations of Section 3.1 and consume no simulated time
+// themselves (queueing overhead is modeled separately by internal/shmem).
+const (
+	SegCompute SegmentKind = iota + 1
+	SegLock
+	SegUnlock
+)
+
+func (k SegmentKind) String() string {
+	switch k {
+	case SegCompute:
+		return "compute"
+	case SegLock:
+		return "lock"
+	case SegUnlock:
+		return "unlock"
+	default:
+		return fmt.Sprintf("SegmentKind(%d)", int(k))
+	}
+}
+
+// Segment is one instruction of a job body.
+type Segment struct {
+	Kind     SegmentKind
+	Duration int   // ticks; meaningful only for SegCompute
+	Sem      SemID // meaningful only for SegLock / SegUnlock
+}
+
+// Compute returns a compute segment of d ticks.
+func Compute(d int) Segment { return Segment{Kind: SegCompute, Duration: d} }
+
+// Lock returns a P(s) segment.
+func Lock(s SemID) Segment { return Segment{Kind: SegLock, Sem: s} }
+
+// Unlock returns a V(s) segment.
+func Unlock(s SemID) Segment { return Segment{Kind: SegUnlock, Sem: s} }
+
+// Task is a periodic task statically bound to one processor. Priority is a
+// base (assigned) priority where a numerically larger value means higher
+// priority; distinct tasks must have distinct priorities so that the
+// system-wide ordering P1 > P2 > ... of Section 3.1 is well defined.
+type Task struct {
+	ID       ID
+	Name     string
+	Proc     ProcID
+	Period   int
+	Deadline int // relative deadline; 0 means Deadline = Period
+	Offset   int // release time of the first job
+	Priority int // base priority, larger = higher
+	Body     []Segment
+}
+
+// WCET returns the task's computation requirement C_i: the sum of its
+// compute segments.
+func (t *Task) WCET() int {
+	total := 0
+	for _, seg := range t.Body {
+		if seg.Kind == SegCompute {
+			total += seg.Duration
+		}
+	}
+	return total
+}
+
+// RelativeDeadline returns the task's relative deadline, defaulting to its
+// period as in the rate-monotonic model of [6].
+func (t *Task) RelativeDeadline() int {
+	if t.Deadline > 0 {
+		return t.Deadline
+	}
+	return t.Period
+}
+
+// Utilization returns C_i / T_i.
+func (t *Task) Utilization() float64 {
+	if t.Period == 0 {
+		return 0
+	}
+	return float64(t.WCET()) / float64(t.Period)
+}
+
+// Semaphore is a binary semaphore guarding a shared resource. Global is
+// derived during System validation: a semaphore is global exactly when
+// tasks bound to more than one processor access it (Section 4.2).
+type Semaphore struct {
+	ID     SemID
+	Name   string
+	Global bool
+}
+
+// CriticalSection describes one critical section of a task: the semaphore,
+// the sum of compute time strictly inside it (including nested sections),
+// and its nesting structure.
+type CriticalSection struct {
+	Task      ID
+	Sem       SemID
+	Duration  int  // compute ticks between the Lock and its matching Unlock
+	Outermost bool // not nested inside another critical section
+	Nested    bool // contains another critical section
+	Global    bool // guarded by a global semaphore
+	StartSeg  int  // index of the Lock segment in the task body
+	EndSeg    int  // index of the matching Unlock segment
+}
+
+// System is a complete multiprocessor workload: the processor count, the
+// task set and the semaphores they share. Build one with NewSystem, add
+// tasks and semaphores, then call Validate (or use the Builder in the
+// public API package) before handing it to a simulator or an analysis.
+type System struct {
+	NumProcs int
+	Tasks    []*Task
+	Sems     []*Semaphore
+
+	// Derived by Validate:
+	csByTask  map[ID][]CriticalSection
+	accessBy  map[SemID]map[ProcID]bool
+	validated bool
+}
+
+// NewSystem returns an empty system with the given number of processors.
+func NewSystem(numProcs int) *System {
+	return &System{NumProcs: numProcs}
+}
+
+// Clone deep-copies the system onto numProcs processors (pass s.NumProcs
+// to keep the count). Task bodies are copied, so mutations to the clone
+// never leak back. The clone is returned unvalidated: callers adjust it
+// and run Validate themselves.
+func (s *System) Clone(numProcs int) *System {
+	out := NewSystem(numProcs)
+	for _, sem := range s.Sems {
+		out.AddSem(&Semaphore{ID: sem.ID, Name: sem.Name})
+	}
+	for _, t := range s.Tasks {
+		body := make([]Segment, len(t.Body))
+		copy(body, t.Body)
+		out.AddTask(&Task{
+			ID:       t.ID,
+			Name:     t.Name,
+			Proc:     t.Proc,
+			Period:   t.Period,
+			Deadline: t.Deadline,
+			Offset:   t.Offset,
+			Priority: t.Priority,
+			Body:     body,
+		})
+	}
+	return out
+}
+
+// AddTask appends a task and returns it for further configuration.
+func (s *System) AddTask(t *Task) *Task {
+	s.Tasks = append(s.Tasks, t)
+	s.validated = false
+	return t
+}
+
+// AddSem appends a semaphore and returns it.
+func (s *System) AddSem(sem *Semaphore) *Semaphore {
+	s.Sems = append(s.Sems, sem)
+	s.validated = false
+	return sem
+}
+
+// TaskByID returns the task with the given ID, or nil.
+func (s *System) TaskByID(id ID) *Task {
+	for _, t := range s.Tasks {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// SemByID returns the semaphore with the given ID, or nil.
+func (s *System) SemByID(id SemID) *Semaphore {
+	for _, sem := range s.Sems {
+		if sem.ID == id {
+			return sem
+		}
+	}
+	return nil
+}
+
+// Validation errors that callers may want to match.
+var (
+	ErrNoTasks           = errors.New("system has no tasks")
+	ErrNoProcs           = errors.New("system has no processors")
+	ErrDuplicateTaskID   = errors.New("duplicate task id")
+	ErrDuplicateSemID    = errors.New("duplicate semaphore id")
+	ErrDuplicatePriority = errors.New("duplicate task priority")
+	ErrBadBinding        = errors.New("task bound to nonexistent processor")
+	ErrBadPeriod         = errors.New("task period must be positive")
+	ErrUnknownSemaphore  = errors.New("body references unknown semaphore")
+	ErrUnbalancedLocks   = errors.New("unbalanced lock/unlock in body")
+	ErrSelfDeadlock      = errors.New("body locks a semaphore it already holds")
+	ErrNestedGlobal      = errors.New("nested global critical section")
+	ErrNegativeDuration  = errors.New("compute segment with negative duration")
+	ErrHeldAtCompletion  = errors.New("semaphore still held at end of body")
+)
+
+// ValidateOptions tunes validation. The paper's base protocol forbids
+// global critical sections from nesting or being nested (Section 4.2);
+// AllowNestedGlobal relaxes that for the Section 5.1 nested-gcs study,
+// in which case callers are responsible for a deadlock-free partial order.
+type ValidateOptions struct {
+	AllowNestedGlobal bool
+}
+
+// Validate checks structural well-formedness, derives which semaphores are
+// global, and extracts every task's critical sections. It must be called
+// (directly or via the facade) before simulation or analysis.
+func (s *System) Validate(opts ValidateOptions) error {
+	if s.NumProcs <= 0 {
+		return ErrNoProcs
+	}
+	if len(s.Tasks) == 0 {
+		return ErrNoTasks
+	}
+
+	seenTask := make(map[ID]bool, len(s.Tasks))
+	seenPrio := make(map[int]ID, len(s.Tasks))
+	for _, t := range s.Tasks {
+		if seenTask[t.ID] {
+			return fmt.Errorf("%w: %d", ErrDuplicateTaskID, t.ID)
+		}
+		seenTask[t.ID] = true
+		if other, dup := seenPrio[t.Priority]; dup {
+			return fmt.Errorf("%w: tasks %d and %d share priority %d",
+				ErrDuplicatePriority, other, t.ID, t.Priority)
+		}
+		seenPrio[t.Priority] = t.ID
+		if t.Proc < 0 || int(t.Proc) >= s.NumProcs {
+			return fmt.Errorf("%w: task %d on processor %d of %d",
+				ErrBadBinding, t.ID, t.Proc, s.NumProcs)
+		}
+		if t.Period <= 0 {
+			return fmt.Errorf("%w: task %d", ErrBadPeriod, t.ID)
+		}
+	}
+
+	seenSem := make(map[SemID]*Semaphore, len(s.Sems))
+	for _, sem := range s.Sems {
+		if seenSem[sem.ID] != nil {
+			return fmt.Errorf("%w: %d", ErrDuplicateSemID, sem.ID)
+		}
+		seenSem[sem.ID] = sem
+	}
+
+	// Derive which processors access each semaphore.
+	s.accessBy = make(map[SemID]map[ProcID]bool, len(s.Sems))
+	for _, t := range s.Tasks {
+		for _, seg := range t.Body {
+			if seg.Kind != SegLock && seg.Kind != SegUnlock {
+				continue
+			}
+			if seenSem[seg.Sem] == nil {
+				return fmt.Errorf("%w: task %d, semaphore %d",
+					ErrUnknownSemaphore, t.ID, seg.Sem)
+			}
+			procs := s.accessBy[seg.Sem]
+			if procs == nil {
+				procs = make(map[ProcID]bool, 2)
+				s.accessBy[seg.Sem] = procs
+			}
+			procs[t.Proc] = true
+		}
+	}
+	for _, sem := range s.Sems {
+		sem.Global = len(s.accessBy[sem.ID]) > 1
+	}
+
+	// Walk each body: match lock/unlock, extract critical sections.
+	s.csByTask = make(map[ID][]CriticalSection, len(s.Tasks))
+	for _, t := range s.Tasks {
+		css, err := extractCriticalSections(t, seenSem, opts)
+		if err != nil {
+			return err
+		}
+		s.csByTask[t.ID] = css
+	}
+
+	s.validated = true
+	return nil
+}
+
+type openCS struct {
+	sem      SemID
+	startSeg int
+	duration int
+	nested   bool
+}
+
+func extractCriticalSections(t *Task, sems map[SemID]*Semaphore, opts ValidateOptions) ([]CriticalSection, error) {
+	var (
+		stack []openCS
+		out   []CriticalSection
+	)
+	held := make(map[SemID]bool)
+	for i, seg := range t.Body {
+		switch seg.Kind {
+		case SegCompute:
+			if seg.Duration < 0 {
+				return nil, fmt.Errorf("%w: task %d segment %d", ErrNegativeDuration, t.ID, i)
+			}
+			for k := range stack {
+				stack[k].duration += seg.Duration
+			}
+		case SegLock:
+			if held[seg.Sem] {
+				return nil, fmt.Errorf("%w: task %d, semaphore %d", ErrSelfDeadlock, t.ID, seg.Sem)
+			}
+			if !opts.AllowNestedGlobal && len(stack) > 0 {
+				inner := sems[seg.Sem].Global
+				outer := sems[stack[len(stack)-1].sem].Global
+				if inner || outer {
+					return nil, fmt.Errorf("%w: task %d, semaphore %d inside %d",
+						ErrNestedGlobal, t.ID, seg.Sem, stack[len(stack)-1].sem)
+				}
+			}
+			if len(stack) > 0 {
+				stack[len(stack)-1].nested = true
+			}
+			held[seg.Sem] = true
+			stack = append(stack, openCS{sem: seg.Sem, startSeg: i})
+		case SegUnlock:
+			if len(stack) == 0 || stack[len(stack)-1].sem != seg.Sem {
+				return nil, fmt.Errorf("%w: task %d segment %d unlocks %d",
+					ErrUnbalancedLocks, t.ID, i, seg.Sem)
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			held[seg.Sem] = false
+			out = append(out, CriticalSection{
+				Task:      t.ID,
+				Sem:       top.sem,
+				Duration:  top.duration,
+				Outermost: len(stack) == 0,
+				Nested:    top.nested,
+				Global:    sems[top.sem].Global,
+				StartSeg:  top.startSeg,
+				EndSeg:    i,
+			})
+		default:
+			return nil, fmt.Errorf("task %d segment %d: unknown kind %v", t.ID, i, seg.Kind)
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("%w: task %d, semaphore %d", ErrHeldAtCompletion, t.ID, stack[len(stack)-1].sem)
+	}
+	return out, nil
+}
+
+// Validated reports whether Validate has succeeded since the last mutation.
+func (s *System) Validated() bool { return s.validated }
+
+// CriticalSections returns the critical sections of task id, in body order.
+// The System must have been validated.
+func (s *System) CriticalSections(id ID) []CriticalSection {
+	return s.csByTask[id]
+}
+
+// GlobalSections returns the outermost global critical sections of task id.
+func (s *System) GlobalSections(id ID) []CriticalSection {
+	var out []CriticalSection
+	for _, cs := range s.csByTask[id] {
+		if cs.Global && cs.Outermost {
+			out = append(out, cs)
+		}
+	}
+	return out
+}
+
+// LocalSections returns the critical sections of task id that are guarded
+// by local semaphores.
+func (s *System) LocalSections(id ID) []CriticalSection {
+	var out []CriticalSection
+	for _, cs := range s.csByTask[id] {
+		if !cs.Global {
+			out = append(out, cs)
+		}
+	}
+	return out
+}
+
+// AccessorProcs returns the processors from which semaphore id is accessed.
+func (s *System) AccessorProcs(id SemID) []ProcID {
+	procs := make([]ProcID, 0, len(s.accessBy[id]))
+	for p := range s.accessBy[id] {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	return procs
+}
+
+// TasksUsing returns the tasks that access semaphore id, sorted by
+// descending priority.
+func (s *System) TasksUsing(id SemID) []*Task {
+	var out []*Task
+	for _, t := range s.Tasks {
+		for _, cs := range s.csByTask[t.ID] {
+			if cs.Sem == id {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Priority > out[j].Priority })
+	return out
+}
+
+// TasksOn returns the tasks bound to processor p, sorted by descending
+// priority.
+func (s *System) TasksOn(p ProcID) []*Task {
+	var out []*Task
+	for _, t := range s.Tasks {
+		if t.Proc == p {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Priority > out[j].Priority })
+	return out
+}
+
+// HighestPriority returns P_H, the highest base priority assigned to any
+// task in the entire system (Section 4.4).
+func (s *System) HighestPriority() int {
+	best := 0
+	for i, t := range s.Tasks {
+		if i == 0 || t.Priority > best {
+			best = t.Priority
+		}
+	}
+	return best
+}
+
+// Utilization returns the total utilization of the task set.
+func (s *System) Utilization() float64 {
+	total := 0.0
+	for _, t := range s.Tasks {
+		total += t.Utilization()
+	}
+	return total
+}
+
+// ProcUtilization returns the utilization of the tasks bound to processor p.
+func (s *System) ProcUtilization(p ProcID) float64 {
+	total := 0.0
+	for _, t := range s.Tasks {
+		if t.Proc == p {
+			total += t.Utilization()
+		}
+	}
+	return total
+}
+
+// Hyperperiod returns the least common multiple of all task periods, the
+// natural simulation horizon. It saturates at maxHyperperiod to keep
+// adversarial inputs from overflowing.
+func (s *System) Hyperperiod() int {
+	const maxHyperperiod = 1 << 40
+	l := 1
+	for _, t := range s.Tasks {
+		l = lcm(l, t.Period)
+		if l > maxHyperperiod {
+			return maxHyperperiod
+		}
+	}
+	return l
+}
+
+// MaxOffset returns the largest release offset in the task set.
+func (s *System) MaxOffset() int {
+	max := 0
+	for _, t := range s.Tasks {
+		if t.Offset > max {
+			max = t.Offset
+		}
+	}
+	return max
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / gcd(a, b) * b
+}
+
+// AssignRateMonotonic assigns distinct base priorities by the
+// rate-monotonic rule of [6]: shorter period means higher priority. Ties on
+// period are broken by task ID (lower ID wins) so the assignment is
+// deterministic. Priorities are 1..n with n = highest.
+func AssignRateMonotonic(s *System) {
+	order := make([]*Task, len(s.Tasks))
+	copy(order, s.Tasks)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Period != order[j].Period {
+			return order[i].Period > order[j].Period // longest period = lowest priority
+		}
+		return order[i].ID > order[j].ID
+	})
+	for i, t := range order {
+		t.Priority = i + 1
+	}
+	s.validated = false
+}
+
+// AssignDeadlineMonotonic assigns distinct base priorities by relative
+// deadline: shorter deadline means higher priority (optimal for static
+// priorities when deadlines may be shorter than periods). Ties break by
+// task ID. Priorities are 1..n with n = highest.
+func AssignDeadlineMonotonic(s *System) {
+	order := make([]*Task, len(s.Tasks))
+	copy(order, s.Tasks)
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := order[i].RelativeDeadline(), order[j].RelativeDeadline()
+		if di != dj {
+			return di > dj // longest deadline = lowest priority
+		}
+		return order[i].ID > order[j].ID
+	})
+	for i, t := range order {
+		t.Priority = i + 1
+	}
+	s.validated = false
+}

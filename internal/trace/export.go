@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mpcp/internal/task"
+)
+
+// The JSON export format is a stable contract for external tooling
+// (plotting Gantt charts, diffing runs). Mirror structs carry the field
+// tags so internal renames never break the format.
+
+type jsonLog struct {
+	Events []jsonEvent `json:"events"`
+	Execs  []jsonExec  `json:"execs"`
+}
+
+type jsonEvent struct {
+	Time int    `json:"t"`
+	Kind string `json:"kind"`
+	Task int    `json:"task"`
+	Job  int    `json:"job"`
+	Proc int    `json:"proc"`
+	Sem  int    `json:"sem,omitempty"`
+	Prio int    `json:"prio,omitempty"`
+}
+
+type jsonExec struct {
+	Time  int  `json:"t"`
+	Proc  int  `json:"proc"`
+	Task  int  `json:"task"`
+	Job   int  `json:"job"`
+	InCS  bool `json:"inCS,omitempty"`
+	InGCS bool `json:"inGCS,omitempty"`
+}
+
+var kindNames = map[EventKind]string{
+	EvRelease:       "release",
+	EvStart:         "start",
+	EvPreempt:       "preempt",
+	EvLock:          "lock",
+	EvBlockLocal:    "block-local",
+	EvSuspendGlobal: "suspend-global",
+	EvSpinGlobal:    "spin-global",
+	EvUnlock:        "unlock",
+	EvGrant:         "grant",
+	EvInherit:       "inherit",
+	EvFinish:        "finish",
+	EvDeadlineMiss:  "deadline-miss",
+}
+
+var kindValues = func() map[string]EventKind {
+	m := make(map[string]EventKind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// WriteJSON serializes the log.
+func (l *Log) WriteJSON(w io.Writer) error {
+	out := jsonLog{
+		Events: make([]jsonEvent, 0, len(l.Events)),
+		Execs:  make([]jsonExec, 0, len(l.Execs)),
+	}
+	for _, e := range l.Events {
+		out.Events = append(out.Events, jsonEvent{
+			Time: e.Time, Kind: kindNames[e.Kind], Task: int(e.Task),
+			Job: e.Job, Proc: int(e.Proc), Sem: int(e.Sem), Prio: e.Prio,
+		})
+	}
+	for _, x := range l.Execs {
+		out.Execs = append(out.Execs, jsonExec{
+			Time: x.Time, Proc: int(x.Proc), Task: int(x.Task), Job: x.Job,
+			InCS: x.InCS, InGCS: x.InGCS,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a log written by WriteJSON.
+func ReadJSON(r io.Reader) (*Log, error) {
+	var in jsonLog
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	l := New()
+	for _, e := range in.Events {
+		kind, ok := kindValues[e.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: unknown event kind %q", e.Kind)
+		}
+		l.Add(Event{
+			Time: e.Time, Kind: kind, Task: task.ID(e.Task), Job: e.Job,
+			Proc: task.ProcID(e.Proc), Sem: task.SemID(e.Sem), Prio: e.Prio,
+		})
+	}
+	for _, x := range in.Execs {
+		l.AddExec(Exec{
+			Time: x.Time, Proc: task.ProcID(x.Proc), Task: task.ID(x.Task),
+			Job: x.Job, InCS: x.InCS, InGCS: x.InGCS,
+		})
+	}
+	return l, nil
+}

@@ -1,0 +1,114 @@
+package workload_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mpcp/internal/alloc"
+	"mpcp/internal/workload"
+)
+
+func TestGenerateSpecsShape(t *testing.T) {
+	specs, sems, err := workload.GenerateSpecs(workload.DefaultSpecs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 12 {
+		t.Fatalf("specs = %d, want 12", len(specs))
+	}
+	if len(sems) != 4 {
+		t.Fatalf("sems = %d, want 4", len(sems))
+	}
+	// Every spec has a positive period and non-empty body.
+	for _, sp := range specs {
+		if sp.Period <= 0 || len(sp.Body) == 0 {
+			t.Errorf("spec %d malformed: %+v", sp.ID, sp)
+		}
+	}
+}
+
+func TestGenerateSpecsDeterministic(t *testing.T) {
+	a, _, err := workload.GenerateSpecs(workload.DefaultSpecs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := workload.GenerateSpecs(workload.DefaultSpecs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical seeds produced different specs")
+	}
+}
+
+func TestGenerateSpecsGroupsShareSemaphores(t *testing.T) {
+	cfg := workload.DefaultSpecs(2)
+	// Keep utilization low enough that every sharer group fits on one
+	// processor under the Liu-Layland bound, so affinity can co-locate
+	// all of them.
+	cfg.TotalUtil = 1.0
+	specs, sems, err := workload.GenerateSpecs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups of GroupSize consecutive tasks share a semaphore, so the
+	// sharing graph has at most SharedSems components among tasks that
+	// lock anything.
+	groups := 0
+	_ = sems
+	binding, err := alloc.ResourceAffinity(specs, len(specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	procsUsed := make(map[int]bool)
+	for _, p := range binding {
+		procsUsed[int(p)] = true
+	}
+	groups = len(procsUsed)
+	if groups > cfg.SharedSems+cfg.NumTasks { // sanity only
+		t.Errorf("unexpected group structure: %d", groups)
+	}
+	// Co-located groups must make every semaphore local.
+	sys, err := alloc.Apply(specs, binding, len(specs), sems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sem := range sys.Sems {
+		if sem.Global {
+			t.Errorf("semaphore %d global despite affinity binding with ample processors", sem.ID)
+		}
+	}
+}
+
+func TestGenerateSpecsErrors(t *testing.T) {
+	bad := []workload.SpecsConfig{
+		{},
+		{NumTasks: 4, TotalUtil: 1}, // no periods
+		{NumTasks: 0, TotalUtil: 1, Periods: []int{100}},
+		{NumTasks: 4, TotalUtil: 0, Periods: []int{100}},
+	}
+	for i, cfg := range bad {
+		if _, _, err := workload.GenerateSpecs(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateSpecsNoSharing(t *testing.T) {
+	cfg := workload.DefaultSpecs(3)
+	cfg.SharedSems = 0
+	specs, sems, err := workload.GenerateSpecs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sems) != 0 {
+		t.Errorf("sems = %d, want 0", len(sems))
+	}
+	for _, sp := range specs {
+		for _, seg := range sp.Body {
+			if seg.Kind != 1 { // SegCompute
+				t.Errorf("spec %d has lock segments without semaphores", sp.ID)
+			}
+		}
+	}
+}

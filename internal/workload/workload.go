@@ -1,0 +1,233 @@
+// Package workload generates seeded random task sets for the parameter
+// sweeps of the evaluation (experiments E7, E9, E10, E11): per-processor
+// utilization is distributed UUniFast-style, periods are drawn from a
+// harmonic-friendly menu so hyperperiods stay simulable, and critical
+// sections (local and global) are carved out of each task's computation.
+// Identical configurations with identical seeds produce identical systems.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpcp/internal/task"
+)
+
+// Config describes a random workload. The zero value is not usable; start
+// from Default and override.
+type Config struct {
+	Seed     int64
+	NumProcs int
+	// TasksPerProc tasks are bound to every processor.
+	TasksPerProc int
+	// UtilPerProc is the total utilization target of each processor,
+	// split UUniFast-style among its tasks.
+	UtilPerProc float64
+	// Periods is the menu of periods to draw from (uniformly).
+	Periods []int
+
+	// GlobalSems is the number of global semaphores shared by the whole
+	// system; LocalSemsPerProc local semaphores exist on each processor.
+	GlobalSems       int
+	LocalSemsPerProc int
+
+	// GcsPerTask and LcsPerTask bound how many global/local critical
+	// sections each task executes (uniform in [min,max]).
+	GcsPerTask [2]int
+	LcsPerTask [2]int
+
+	// CSTicks bounds the duration of each critical section (uniform in
+	// [min,max] ticks). Critical sections are truncated if a task's
+	// computation budget cannot fit them.
+	CSTicks [2]int
+
+	// Hotspot forces every global critical section onto the first global
+	// semaphore, concentrating contention (adversarial sweeps).
+	Hotspot bool
+
+	// Stagger assigns deterministic release offsets (spread across each
+	// task's period) so critical sections collide instead of executing in
+	// priority order from a synchronous start.
+	Stagger bool
+}
+
+// Default returns a reasonable baseline configuration: 4 processors,
+// 4 tasks each at 50% utilization, 3 global and 2 local semaphores,
+// one gcs and one lcs per task of 2..6 ticks.
+func Default(seed int64) Config {
+	return Config{
+		Seed:             seed,
+		NumProcs:         4,
+		TasksPerProc:     4,
+		UtilPerProc:      0.5,
+		Periods:          []int{100, 200, 300, 400, 600, 1200},
+		GlobalSems:       3,
+		LocalSemsPerProc: 2,
+		GcsPerTask:       [2]int{1, 1},
+		LcsPerTask:       [2]int{0, 1},
+		CSTicks:          [2]int{2, 6},
+	}
+}
+
+// Generate builds and validates a random system from cfg.
+func Generate(cfg Config) (*task.System, error) {
+	if cfg.NumProcs <= 0 || cfg.TasksPerProc <= 0 {
+		return nil, errors.New("workload: NumProcs and TasksPerProc must be positive")
+	}
+	if len(cfg.Periods) == 0 {
+		return nil, errors.New("workload: empty period menu")
+	}
+	if cfg.UtilPerProc <= 0 || cfg.UtilPerProc >= 1 {
+		return nil, fmt.Errorf("workload: UtilPerProc %.2f out of (0,1)", cfg.UtilPerProc)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	sys := task.NewSystem(cfg.NumProcs)
+	var globalSems, localSems []task.SemID
+	nextSem := task.SemID(1)
+	for g := 0; g < cfg.GlobalSems; g++ {
+		sys.AddSem(&task.Semaphore{ID: nextSem, Name: fmt.Sprintf("G%d", g+1)})
+		globalSems = append(globalSems, nextSem)
+		nextSem++
+	}
+	localByProc := make([][]task.SemID, cfg.NumProcs)
+	for p := 0; p < cfg.NumProcs; p++ {
+		for l := 0; l < cfg.LocalSemsPerProc; l++ {
+			sys.AddSem(&task.Semaphore{ID: nextSem, Name: fmt.Sprintf("L%d.%d", p, l+1)})
+			localByProc[p] = append(localByProc[p], nextSem)
+			localSems = append(localSems, nextSem)
+			nextSem++
+		}
+	}
+	_ = localSems
+
+	gcsPool := globalSems
+	if cfg.Hotspot && len(globalSems) > 0 {
+		gcsPool = globalSems[:1]
+	}
+	id := task.ID(1)
+	for p := 0; p < cfg.NumProcs; p++ {
+		utils := uuniFast(rng, cfg.TasksPerProc, cfg.UtilPerProc)
+		for k := 0; k < cfg.TasksPerProc; k++ {
+			period := cfg.Periods[rng.Intn(len(cfg.Periods))]
+			wcet := int(math.Round(utils[k] * float64(period)))
+			if wcet < 2 {
+				wcet = 2
+			}
+			if wcet >= period {
+				wcet = period - 1
+			}
+			body := buildBody(rng, cfg, wcet, gcsPool, localByProc[p])
+			offset := 0
+			if cfg.Stagger {
+				offset = (int(id) * period) / (cfg.NumProcs*cfg.TasksPerProc + 1)
+			}
+			sys.AddTask(&task.Task{
+				ID:     id,
+				Name:   fmt.Sprintf("T%d", id),
+				Proc:   task.ProcID(p),
+				Period: period,
+				Offset: offset,
+				Body:   body,
+			})
+			id++
+		}
+	}
+	task.AssignRateMonotonic(sys)
+	if err := sys.Validate(task.ValidateOptions{}); err != nil {
+		return nil, fmt.Errorf("workload: generated system invalid: %w", err)
+	}
+	return sys, nil
+}
+
+// uuniFast distributes total utilization among n tasks (Bini & Buttazzo's
+// UUniFast, the standard unbiased method).
+func uuniFast(rng *rand.Rand, n int, total float64) []float64 {
+	out := make([]float64, n)
+	sum := total
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-1-i))
+		out[i] = sum - next
+		sum = next
+	}
+	out[n-1] = sum
+	return out
+}
+
+// buildBody carves critical sections out of wcet ticks of computation:
+// a prefix compute, then alternating critical sections separated by
+// compute, then a suffix compute. Sections that no longer fit are dropped.
+func buildBody(rng *rand.Rand, cfg Config, wcet int, globals, locals []task.SemID) []task.Segment {
+	type section struct {
+		sem task.SemID
+		dur int
+	}
+	var sections []section
+	pick := func(pool []task.SemID, bounds [2]int) {
+		if len(pool) == 0 || bounds[1] <= 0 {
+			return
+		}
+		n := bounds[0]
+		if bounds[1] > bounds[0] {
+			n += rng.Intn(bounds[1] - bounds[0] + 1)
+		}
+		for i := 0; i < n; i++ {
+			dur := cfg.CSTicks[0]
+			if cfg.CSTicks[1] > cfg.CSTicks[0] {
+				dur += rng.Intn(cfg.CSTicks[1] - cfg.CSTicks[0] + 1)
+			}
+			sections = append(sections, section{sem: pool[rng.Intn(len(pool))], dur: dur})
+		}
+	}
+	pick(globals, cfg.GcsPerTask)
+	pick(locals, cfg.LcsPerTask)
+
+	// Budget: critical sections may use at most half the computation so
+	// tasks retain non-critical execution (matching the paper's "a
+	// critical section is short relative to task execution time").
+	budget := wcet / 2
+	kept := sections[:0]
+	used := 0
+	seen := make(map[task.SemID]bool)
+	for _, s := range sections {
+		if seen[s.sem] { // a job must not relock a semaphore it holds; keep one section per semaphore
+			continue
+		}
+		if used+s.dur > budget {
+			continue
+		}
+		seen[s.sem] = true
+		used += s.dur
+		kept = append(kept, s)
+	}
+	sections = kept
+
+	remaining := wcet - used
+	gaps := len(sections) + 1
+	base := remaining / gaps
+	extra := remaining % gaps
+
+	var body []task.Segment
+	for i := 0; i < gaps; i++ {
+		d := base
+		if i < extra {
+			d++
+		}
+		if d > 0 {
+			body = append(body, task.Compute(d))
+		}
+		if i < len(sections) {
+			body = append(body,
+				task.Lock(sections[i].sem),
+				task.Compute(sections[i].dur),
+				task.Unlock(sections[i].sem),
+			)
+		}
+	}
+	if len(body) == 0 {
+		body = []task.Segment{task.Compute(wcet)}
+	}
+	return body
+}

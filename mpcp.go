@@ -1,0 +1,125 @@
+package mpcp
+
+import (
+	"fmt"
+
+	"mpcp/internal/task"
+)
+
+// Core model types, re-exported from the internal workload model. See the
+// internal/task package for full documentation of each.
+type (
+	// System is a complete multiprocessor workload: processors, tasks and
+	// semaphores.
+	System = task.System
+	// Task is a periodic task statically bound to one processor.
+	Task = task.Task
+	// Semaphore is a binary semaphore guarding a shared resource.
+	Semaphore = task.Semaphore
+	// Segment is one instruction of a job body (compute, lock or unlock).
+	Segment = task.Segment
+	// CriticalSection describes one critical section of a task.
+	CriticalSection = task.CriticalSection
+	// TaskID identifies a task.
+	TaskID = task.ID
+	// SemID identifies a semaphore.
+	SemID = task.SemID
+	// ProcID identifies a processor (0-based).
+	ProcID = task.ProcID
+)
+
+// Compute returns a compute segment of d ticks.
+func Compute(d int) Segment { return task.Compute(d) }
+
+// Lock returns a P(s) segment.
+func Lock(s SemID) Segment { return task.Lock(s) }
+
+// Unlock returns a V(s) segment.
+func Unlock(s SemID) Segment { return task.Unlock(s) }
+
+// TaskSpec carries the scheduling parameters of a task added through the
+// Builder. Priority may be left zero to have rate-monotonic priorities
+// assigned at Build time (the paper's assumption); if any task sets an
+// explicit priority, all must.
+type TaskSpec struct {
+	Proc     ProcID
+	Period   int
+	Deadline int // defaults to Period
+	Offset   int
+	Priority int // 0 = assign rate-monotonically at Build
+}
+
+// Builder assembles a System. It is not safe for concurrent use.
+type Builder struct {
+	sys        *task.System
+	nextSem    SemID
+	nextTask   TaskID
+	explicit   int // tasks with explicit priorities
+	implicit   int // tasks relying on rate-monotonic assignment
+	allowNests bool
+}
+
+// NewBuilder starts a system with the given number of processors.
+func NewBuilder(numProcs int) *Builder {
+	return &Builder{sys: task.NewSystem(numProcs), nextSem: 1, nextTask: 1}
+}
+
+// AllowNestedGlobal permits nested global critical sections at validation
+// (the Section 5.1 nested-gcs study); the caller must guarantee a
+// deadlock-free lock order.
+func (b *Builder) AllowNestedGlobal() *Builder {
+	b.allowNests = true
+	return b
+}
+
+// Semaphore declares a semaphore and returns its ID. Whether it is local
+// or global is derived from the processors of the tasks that use it.
+func (b *Builder) Semaphore(name string) SemID {
+	id := b.nextSem
+	b.nextSem++
+	b.sys.AddSem(&task.Semaphore{ID: id, Name: name})
+	return id
+}
+
+// Task adds a task built from the given body segments and returns its ID.
+func (b *Builder) Task(name string, spec TaskSpec, body ...Segment) TaskID {
+	id := b.nextTask
+	b.nextTask++
+	if spec.Priority != 0 {
+		b.explicit++
+	} else {
+		b.implicit++
+	}
+	b.sys.AddTask(&task.Task{
+		ID:       id,
+		Name:     name,
+		Proc:     spec.Proc,
+		Period:   spec.Period,
+		Deadline: spec.Deadline,
+		Offset:   spec.Offset,
+		Priority: spec.Priority,
+		Body:     body,
+	})
+	return id
+}
+
+// Build validates and returns the system. Rate-monotonic priorities are
+// assigned when no task specified one explicitly.
+func (b *Builder) Build() (*System, error) {
+	if b.explicit > 0 && b.implicit > 0 {
+		return nil, fmt.Errorf("mpcp: %d tasks have explicit priorities but %d do not; set all or none", b.explicit, b.implicit)
+	}
+	if b.explicit == 0 {
+		task.AssignRateMonotonic(b.sys)
+	}
+	if err := b.sys.Validate(task.ValidateOptions{AllowNestedGlobal: b.allowNests}); err != nil {
+		return nil, err
+	}
+	return b.sys, nil
+}
+
+// Revalidate re-runs validation on a system whose tasks were mutated in
+// place (for instance after changing offsets for a trace experiment).
+func Revalidate(sys *System, allowNestedGlobal bool) error {
+	return sys.Validate(task.ValidateOptions{AllowNestedGlobal: allowNestedGlobal})
+}

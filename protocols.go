@@ -1,0 +1,100 @@
+package mpcp
+
+import (
+	"mpcp/internal/core"
+	"mpcp/internal/dpcp"
+	"mpcp/internal/pcp"
+	"mpcp/internal/proto"
+	"mpcp/internal/sim"
+)
+
+// Protocol is a pluggable synchronization discipline for Simulate. The
+// constructors below cover the paper's protocol, its baselines and its
+// ablation variants.
+type Protocol = sim.Protocol
+
+// MPCPOption configures the shared-memory protocol.
+type MPCPOption func(*core.Options)
+
+// WithSpin makes jobs busy-wait at busy global semaphores instead of
+// suspending (an ablation discussed in Section 5: "both approaches can
+// cause processor cycles to be lost").
+func WithSpin() MPCPOption {
+	return func(o *core.Options) { o.Wait = core.Spin }
+}
+
+// WithFIFOQueues orders global semaphore queues FCFS instead of by
+// priority, ablating the paper's secondary goal.
+func WithFIFOQueues() MPCPOption {
+	return func(o *core.Options) { o.FIFOQueues = true }
+}
+
+// WithGcsAtCeiling runs each gcs at the full global priority ceiling of
+// its semaphore (as [8] suggests) instead of the paper's P_G + P_h.
+func WithGcsAtCeiling() MPCPOption {
+	return func(o *core.Options) { o.GcsAtCeiling = true }
+}
+
+// WithNestedGlobal permits nested global critical sections (the caller
+// guarantees a deadlock-free partial order).
+func WithNestedGlobal() MPCPOption {
+	return func(o *core.Options) { o.AllowNestedGlobal = true }
+}
+
+// MPCP returns the paper's shared-memory synchronization protocol.
+func MPCP(opts ...MPCPOption) *core.Protocol {
+	var o core.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return core.New(o)
+}
+
+// DPCPOption configures the message-based baseline.
+type DPCPOption func(*dpcp.Options)
+
+// WithSyncProc assigns global semaphore s to synchronization processor p.
+func WithSyncProc(s SemID, p ProcID) DPCPOption {
+	return func(o *dpcp.Options) {
+		if o.Assign == nil {
+			o.Assign = make(map[SemID]ProcID)
+		}
+		o.Assign[s] = p
+	}
+}
+
+// DPCP returns the message-based multiprocessor protocol of [8]: global
+// critical sections execute on designated synchronization processors at
+// the global priority ceilings of their semaphores.
+func DPCP(opts ...DPCPOption) *dpcp.Protocol {
+	var o dpcp.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return dpcp.New(o)
+}
+
+// PCP returns the uniprocessor priority ceiling protocol; every semaphore
+// must be local. The shared-memory protocol reduces to it on one
+// processor.
+func PCP() *pcp.Protocol { return pcp.New() }
+
+// ImmediatePCP returns the immediate-ceiling uniprocessor variant the
+// paper's Section 4.4 cites as "a good approximation of the priority
+// ceiling protocol [9]": a job jumps to the semaphore's ceiling the
+// moment it locks, so requests never block and worst-case blocking
+// matches classic PCP.
+func ImmediatePCP() *pcp.Immediate { return pcp.NewImmediate() }
+
+// NoProtocol returns raw binary semaphores with FIFO queues and no
+// priority management — the baseline that exhibits unbounded priority
+// inversion (Example 1).
+func NoProtocol() *proto.None { return proto.NewNone(proto.FIFOOrder) }
+
+// NoProtocolPrioQueues is NoProtocol with priority-ordered wakeups.
+func NoProtocolPrioQueues() *proto.None { return proto.NewNone(proto.PriorityOrder) }
+
+// PriorityInheritance returns naive transitive priority inheritance
+// applied across processors — bounded on uniprocessors, insufficient on
+// multiprocessors (Example 2).
+func PriorityInheritance() *proto.Inherit { return proto.NewInherit() }

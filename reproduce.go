@@ -1,0 +1,49 @@
+package mpcp
+
+import (
+	"fmt"
+	"io"
+
+	"mpcp/internal/experiments"
+)
+
+// ExperimentTable is one regenerated artifact of the paper's evaluation.
+type ExperimentTable = experiments.Table
+
+// Experiments returns the full reproduction suite in paper order (E1 —
+// the Example 1 motivation figure — through the Section 6 extension
+// studies). Each entry regenerates one table or figure; see DESIGN.md for
+// the index and EXPERIMENTS.md for paper-vs-measured notes.
+func Experiments() []experiments.Experiment { return experiments.All() }
+
+// VerifyExperiment checks a regenerated artifact against its acceptance
+// criteria (the machine-checkable form of "the shape the paper reports
+// holds").
+func VerifyExperiment(t *ExperimentTable) error { return experiments.Verify(t) }
+
+// VerifyReproduction regenerates every artifact and verifies it,
+// streaming PASS/FAIL lines to out (pass nil to silence). It returns an
+// error describing the first failure, if any — suitable as a CI gate for
+// downstream users.
+func VerifyReproduction(out io.Writer) error {
+	var firstErr error
+	for _, e := range experiments.All() {
+		tbl, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: run: %w", e.ID, err)
+		}
+		if err := experiments.Verify(tbl); err != nil {
+			if out != nil {
+				fmt.Fprintf(out, "FAIL %-4s %v\n", tbl.ID, err)
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", tbl.ID, err)
+			}
+			continue
+		}
+		if out != nil {
+			fmt.Fprintf(out, "PASS %-4s %s\n", tbl.ID, tbl.Title)
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,46 @@
+package mpcp_test
+
+import (
+	"strings"
+	"testing"
+
+	"mpcp"
+)
+
+func TestExperimentsEnumeration(t *testing.T) {
+	all := mpcp.Experiments()
+	if len(all) != 19 {
+		t.Fatalf("experiments = %d, want 19", len(all))
+	}
+	if all[0].ID != "E1" || all[len(all)-1].ID != "E19" {
+		t.Errorf("order wrong: %s..%s", all[0].ID, all[len(all)-1].ID)
+	}
+}
+
+func TestVerifyReproductionGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction skipped in short mode")
+	}
+	var out strings.Builder
+	if err := mpcp.VerifyReproduction(&out); err != nil {
+		t.Fatalf("reproduction gate failed: %v\n%s", err, out.String())
+	}
+	if got := strings.Count(out.String(), "PASS"); got != 19 {
+		t.Errorf("PASS lines = %d, want 19:\n%s", got, out.String())
+	}
+}
+
+func TestVerifyExperimentSingle(t *testing.T) {
+	for _, e := range mpcp.Experiments() {
+		if e.ID != "E4" {
+			continue
+		}
+		tbl, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mpcp.VerifyExperiment(tbl); err != nil {
+			t.Errorf("E4: %v", err)
+		}
+	}
+}

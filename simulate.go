@@ -1,0 +1,93 @@
+package mpcp
+
+import (
+	"io"
+
+	"mpcp/internal/sim"
+	"mpcp/internal/trace"
+)
+
+// Simulation result and trace types, re-exported.
+type (
+	// SimResult summarizes one simulation run.
+	SimResult = sim.Result
+	// TaskStats aggregates per-task statistics over a run.
+	TaskStats = sim.TaskStats
+	// Job is one task instance inside a run (available with WithJobs).
+	Job = sim.Job
+	// Trace is the event log of a run (available with WithTrace).
+	Trace = trace.Log
+	// TraceEvent is one record of a Trace.
+	TraceEvent = trace.Event
+	// Violation is a failed invariant check over a Trace.
+	Violation = trace.Violation
+)
+
+// SimOption configures Simulate.
+type SimOption func(*sim.Config)
+
+// WithHorizon sets the number of ticks to simulate. The default is one
+// hyperperiod past the largest release offset.
+func WithHorizon(ticks int) SimOption {
+	return func(c *sim.Config) { c.Horizon = ticks }
+}
+
+// WithTrace records the full event log and execution matrix into log.
+func WithTrace(log *Trace) SimOption {
+	return func(c *sim.Config) { c.Trace = log }
+}
+
+// WithJobs retains every job instance in the result for per-job
+// inspection.
+func WithJobs() SimOption {
+	return func(c *sim.Config) { c.RetainJobs = true }
+}
+
+// WithStopOnMiss aborts the run at the first deadline miss.
+func WithStopOnMiss() SimOption {
+	return func(c *sim.Config) { c.StopOnMiss = true }
+}
+
+// NewTrace returns an empty trace log for WithTrace.
+func NewTrace() *Trace { return trace.New() }
+
+// Simulate runs sys under protocol p and returns the per-task statistics.
+// The system must have been built (or revalidated) successfully.
+func Simulate(sys *System, p Protocol, opts ...SimOption) (*SimResult, error) {
+	var cfg sim.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	e, err := sim.New(sys, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// CheckMutex verifies mutual exclusion over a recorded trace.
+func CheckMutex(log *Trace) []Violation { return trace.CheckMutex(log) }
+
+// CheckGcsPreemption verifies that no global critical section was
+// preempted by non-critical code (the mechanism behind Theorem 2).
+func CheckGcsPreemption(log *Trace, numProcs int) []Violation {
+	return trace.CheckGcsPreemption(log, numProcs)
+}
+
+// TraceSummary returns per-kind event counts and execution totals of a
+// recorded trace.
+func TraceSummary(log *Trace) string { return log.Summary() }
+
+// Gantt renders a per-processor execution chart of a recorded trace
+// between the given ticks ('G' marks global critical sections, 'L' local
+// ones).
+func Gantt(log *Trace, sys *System, from, to int) string {
+	return log.Gantt(sys, from, to)
+}
+
+// WriteTraceJSON serializes a recorded trace in the stable JSON format
+// (for external plotting or diffing tools).
+func WriteTraceJSON(log *Trace, w io.Writer) error { return log.WriteJSON(w) }
+
+// ReadTraceJSON loads a trace written by WriteTraceJSON.
+func ReadTraceJSON(r io.Reader) (*Trace, error) { return trace.ReadJSON(r) }

@@ -1,0 +1,50 @@
+package mpcp
+
+import (
+	"mpcp/internal/shmem"
+	"mpcp/internal/workload"
+)
+
+// WorkloadConfig describes a seeded random task set for parameter sweeps;
+// see internal/workload for field documentation.
+type WorkloadConfig = workload.Config
+
+// DefaultWorkload returns the baseline random-workload configuration: 4
+// processors, 4 tasks each at 50% utilization, 3 global and 2 local
+// semaphores per processor, short critical sections.
+func DefaultWorkload(seed int64) WorkloadConfig { return workload.Default(seed) }
+
+// GenerateWorkload builds and validates a random system. Identical
+// configurations produce identical systems.
+func GenerateWorkload(cfg WorkloadConfig) (*System, error) { return workload.Generate(cfg) }
+
+// Shared-memory substrate types (Section 5.4 busy-wait study),
+// re-exported.
+type (
+	// ContentionConfig describes a lock-contention experiment on the
+	// shared-memory substrate model.
+	ContentionConfig = shmem.ContentionConfig
+	// ContentionStats reports bus traffic and acquisition latency.
+	ContentionStats = shmem.ContentionStats
+	// SpinStrategy is a busy-wait discipline.
+	SpinStrategy = shmem.Strategy
+)
+
+// Busy-wait disciplines for SimulateContention.
+const (
+	// TASSpin retries the atomic test-and-set across the bus on every
+	// spin iteration.
+	TASSpin = shmem.TASSpin
+	// CachedSpin spins on the locally cached lock word (snoop-
+	// invalidated on release), as Section 5.4 recommends.
+	CachedSpin = shmem.CachedSpin
+	// IPIWait parks the waiter and hands the lock over with an
+	// interprocessor interrupt.
+	IPIWait = shmem.IPIWait
+)
+
+// SimulateContention runs the deterministic shared-memory substrate model
+// of Section 5.4 and reports bus transactions, wait times and makespan.
+func SimulateContention(cfg ContentionConfig) (*ContentionStats, error) {
+	return shmem.SimulateContention(cfg)
+}
