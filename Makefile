@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short bench repro repro-verify fuzz vet fmt cover clean
+.PHONY: all build test test-short bench bench-json repro repro-verify sweep sweep-smoke fuzz vet fmt cover clean
 
 all: build test
 
@@ -16,6 +16,18 @@ test-short:
 # Regenerate every paper table/figure as benchmarks (deliverable d).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable campaign throughput (points/sec at 1 vs N workers).
+bench-json:
+	$(GO) test -json -bench BenchmarkCampaignPoints -benchtime=1x -run '^$$' ./internal/campaign > BENCH_campaign.json
+
+# Full acceptance-ratio campaign (MPCP vs DPCP vs hybrid), resumable.
+sweep:
+	$(GO) run ./cmd/rtsweep -seeds 50 -sim -out sweeps/acceptance.jsonl -resume
+
+# Tiny 2-point campaign as a fast gate (CI runs the same spec).
+sweep-smoke:
+	$(GO) run ./cmd/rtsweep -spec cmd/rtsweep/testdata/smoke.json -quiet
 
 # Print every reproduced artifact (E1-E19).
 repro:

@@ -1,0 +1,228 @@
+// Command rtsweep runs a parallel schedulability campaign (see
+// internal/campaign): a grid of workload parameters x protocols x seeds,
+// fanned out over a worker pool, producing acceptance-ratio curves for
+// MPCP vs DPCP vs the hybrid protocol in one command.
+//
+// Usage:
+//
+//	rtsweep -utils 0.3,0.4,0.5,0.6,0.7 -protocols mpcp,dpcp -seeds 50 -sim
+//	rtsweep -spec sweep.json -workers 8 -out sweeps/acceptance.jsonl
+//	rtsweep -spec sweep.json -out sweeps/acceptance.jsonl -resume
+//
+// Results are deterministic regardless of -workers. The -out file is
+// JSONL, one point per line, checkpointed as the campaign runs and
+// rewritten in spec order on completion; -resume skips points already
+// complete in it. The exit status is 0 only if every point and every
+// trial succeeded (2 on partial failure), so CI catches degraded sweeps.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpcp/internal/campaign"
+)
+
+func main() {
+	failures, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtsweep:", err)
+		os.Exit(1)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "rtsweep: %d trial/point failure(s) — results are degraded\n", failures)
+		os.Exit(2)
+	}
+}
+
+// run executes the campaign and returns the partial-failure count.
+func run(args []string, out, errw io.Writer) (int, error) {
+	fs := flag.NewFlagSet("rtsweep", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		specPath = fs.String("spec", "", "JSON campaign spec file (flags below override it)")
+
+		name      = fs.String("name", "", "campaign name")
+		protocols = fs.String("protocols", "", "comma-separated protocols: mpcp,dpcp,hybrid")
+		utils     = fs.String("utils", "", "comma-separated per-processor utilizations, e.g. 0.3,0.5,0.7")
+		procs     = fs.String("procs", "", "comma-separated processor counts")
+		tasks     = fs.String("tasks", "", "comma-separated tasks-per-processor counts")
+		csMax     = fs.String("csmax", "", "comma-separated max critical-section lengths (ticks)")
+		csMin     = fs.Int("csmin", 0, "min critical-section length (ticks)")
+		seeds     = fs.Int("seeds", 0, "random task sets per grid point")
+		baseSeed  = fs.Int64("base-seed", 0, "base seed sharding all trial seeds")
+		simulate  = fs.Bool("sim", false, "confirm analysis verdicts with simulation runs")
+		simBudget = fs.Int("sim-budget", 0, "tick budget per simulation run (0 = default)")
+		hotspot   = fs.Bool("hotspot", false, "force all global critical sections onto one semaphore")
+		stagger   = fs.Bool("stagger", false, "stagger release offsets")
+
+		workers = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		outPath = fs.String("out", "", "JSONL result file (checkpoint + final artifact)")
+		resume  = fs.Bool("resume", false, "skip points already complete in -out")
+		format  = fs.String("format", "table", "stdout format: table, csv or jsonl")
+		quiet   = fs.Bool("quiet", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if fs.NArg() > 0 {
+		return 0, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *resume && *outPath == "" {
+		return 0, fmt.Errorf("-resume requires -out")
+	}
+	switch *format {
+	case "table", "csv", "jsonl":
+	default:
+		return 0, fmt.Errorf("unknown -format %q (table, csv or jsonl)", *format)
+	}
+
+	spec := campaign.DefaultSpec()
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return 0, err
+		}
+		spec, err = campaign.ParseSpec(data)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	// Explicitly set flags override the spec file.
+	var flagErr error
+	fs.Visit(func(f *flag.Flag) {
+		var err error
+		switch f.Name {
+		case "name":
+			spec.Name = *name
+		case "protocols":
+			spec.Protocols, err = splitListNonEmpty(*protocols)
+		case "utils":
+			spec.Utils, err = parseFloats(*utils)
+		case "procs":
+			spec.Procs, err = parseInts(*procs)
+		case "tasks":
+			spec.TasksPerProc, err = parseInts(*tasks)
+		case "csmax":
+			spec.CSMax, err = parseInts(*csMax)
+		case "csmin":
+			spec.CSMin = *csMin
+		case "seeds":
+			spec.SeedsPerPoint = *seeds
+		case "base-seed":
+			spec.BaseSeed = *baseSeed
+		case "sim":
+			spec.Simulate = *simulate
+		case "sim-budget":
+			spec.SimTickBudget = *simBudget
+		case "hotspot":
+			spec.Hotspot = *hotspot
+		case "stagger":
+			spec.Stagger = *stagger
+		}
+		if err != nil && flagErr == nil {
+			flagErr = fmt.Errorf("-%s: %w", f.Name, err)
+		}
+	})
+	if flagErr != nil {
+		return 0, flagErr
+	}
+
+	opts := campaign.Options{
+		Workers:     *workers,
+		ResultsPath: *outPath,
+		Resume:      *resume,
+	}
+	if !*quiet {
+		opts.Progress = func(p campaign.Progress) {
+			fmt.Fprintf(errw, "\r%d/%d points  %.1f pts/s  ETA %s  failures %d ",
+				p.Done, p.Total, p.PointsPerSec, p.ETA, p.Failures)
+		}
+	}
+	c, err := campaign.Run(spec, opts)
+	if !*quiet {
+		fmt.Fprintln(errw)
+	}
+	if err != nil {
+		return 0, err
+	}
+
+	switch *format {
+	case "table":
+		fmt.Fprint(out, c.Table().Render())
+		fmt.Fprintf(out, "\n%d points, %d failure(s)", len(c.Results), c.Failures())
+		if *outPath != "" {
+			fmt.Fprintf(out, ", results in %s", *outPath)
+		}
+		fmt.Fprintln(out)
+	case "csv":
+		fmt.Fprint(out, c.Table().RenderCSV())
+	case "jsonl":
+		for _, r := range c.Results {
+			line, err := json.Marshal(r)
+			if err != nil {
+				return 0, err
+			}
+			fmt.Fprintln(out, string(line))
+		}
+	}
+	return c.Failures(), nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// splitListNonEmpty rejects an explicitly empty axis flag, which would
+// otherwise silently fall back to the default axis.
+func splitListNonEmpty(s string) ([]string, error) {
+	out := splitList(s)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts, err := splitListNonEmpty(s)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts, err := splitListNonEmpty(s)
+	if err != nil {
+		return nil, err
+	}
+	var out []float64
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

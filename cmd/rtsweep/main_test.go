@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (stdout string, failures int) {
+	t.Helper()
+	var out bytes.Buffer
+	failures, err := run(args, &out, io.Discard)
+	if err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String(), failures
+}
+
+func TestSmokeSpecFile(t *testing.T) {
+	out, failures := runCLI(t, "-spec", "testdata/smoke.json", "-quiet")
+	if failures != 0 {
+		t.Fatalf("failures: %d", failures)
+	}
+	if !strings.Contains(out, `campaign "smoke"`) {
+		t.Errorf("summary missing campaign name:\n%s", out)
+	}
+	if !strings.Contains(out, "mpcp") || !strings.Contains(out, "dpcp") {
+		t.Errorf("summary missing protocol rows:\n%s", out)
+	}
+	if !strings.Contains(out, "2 points, 0 failure(s)") {
+		t.Errorf("summary missing point/failure count:\n%s", out)
+	}
+}
+
+func TestFlagsOverrideSpec(t *testing.T) {
+	// -protocols narrows the spec file's grid to one point.
+	out, _ := runCLI(t, "-spec", "testdata/smoke.json", "-protocols", "mpcp", "-quiet")
+	if strings.Contains(out, "dpcp") {
+		t.Errorf("-protocols did not override spec file:\n%s", out)
+	}
+	if !strings.Contains(out, "1 points") {
+		t.Errorf("expected a single point:\n%s", out)
+	}
+}
+
+func TestFormats(t *testing.T) {
+	csv, _ := runCLI(t, "-spec", "testdata/smoke.json", "-quiet", "-format", "csv")
+	if !strings.HasPrefix(csv, "protocol,util,") {
+		t.Errorf("csv output missing header:\n%s", csv)
+	}
+	jsonl, _ := runCLI(t, "-spec", "testdata/smoke.json", "-quiet", "-format", "jsonl")
+	lines := strings.Split(strings.TrimSpace(jsonl), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], `"key":"mpcp/`) {
+		t.Errorf("jsonl output wrong:\n%s", jsonl)
+	}
+
+	if _, err := run([]string{"-format", "xml", "-spec", "testdata/smoke.json", "-quiet"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// TestWorkerCountInvariance is the CLI-level determinism gate: the same
+// spec at -workers=1 and -workers=8 produces byte-identical result files
+// and stdout.
+func TestWorkerCountInvariance(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "w1.jsonl")
+	p8 := filepath.Join(dir, "w8.jsonl")
+	out1, _ := runCLI(t, "-spec", "testdata/smoke.json", "-quiet", "-workers", "1", "-out", p1, "-format", "jsonl")
+	out8, _ := runCLI(t, "-spec", "testdata/smoke.json", "-quiet", "-workers", "8", "-out", p8, "-format", "jsonl")
+	if out1 != out8 {
+		t.Errorf("stdout differs between worker counts:\n%s\nvs\n%s", out1, out8)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := os.ReadFile(p8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Errorf("result files differ between worker counts")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-utils", "abc"},
+		{"-utils", ""},
+		{"-procs", "x"},
+		{"-protocols", "pip"},
+		{"-protocols", ","},
+		{"-format", "xml"},
+		{"-resume"}, // requires -out
+		{"-spec", "testdata/nope.json"},
+		{"stray-arg"},
+	} {
+		if _, err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

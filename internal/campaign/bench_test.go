@@ -1,0 +1,51 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchSpec is sized so one campaign is a few hundred milliseconds of
+// real analysis+simulation work — enough for the worker pool to matter.
+func benchSpec() *Spec {
+	s := DefaultSpec()
+	s.Name = "bench"
+	s.SeedsPerPoint = 4
+	s.Protocols = []string{ProtoMPCP, ProtoDPCP}
+	s.Utils = []float64{0.3, 0.4, 0.5, 0.6}
+	s.Procs = []int{4}
+	s.TasksPerProc = []int{4}
+	s.Simulate = true
+	s.SimTickBudget = 20_000
+	return s
+}
+
+// BenchmarkCampaignPoints measures campaign throughput (points/sec) at 1
+// worker vs all CPUs — the headline number for the parallel engine. Run
+// `make bench-json` for machine-readable output in BENCH_campaign.json.
+// The multi-worker case is floored at 2 so the pool is exercised even on
+// single-CPU machines (where no actual speedup is possible).
+func BenchmarkCampaignPoints(b *testing.B) {
+	multi := runtime.NumCPU()
+	if multi < 2 {
+		multi = 2
+	}
+	for _, workers := range []int{1, multi} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			spec := benchSpec()
+			points := len(spec.Points())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := Run(spec, Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.Failures() != 0 {
+					b.Fatalf("failures: %d", c.Failures())
+				}
+			}
+			b.ReportMetric(float64(points*b.N)/b.Elapsed().Seconds(), "points/sec")
+		})
+	}
+}

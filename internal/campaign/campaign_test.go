@@ -1,0 +1,224 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testSpec is a small grid that still exercises every protocol and the
+// simulation path.
+func testSpec() *Spec {
+	s := DefaultSpec()
+	s.Name = "test"
+	s.SeedsPerPoint = 3
+	s.Protocols = []string{ProtoMPCP, ProtoDPCP, ProtoHybrid}
+	s.Utils = []float64{0.35, 0.55}
+	s.Procs = []int{2}
+	s.TasksPerProc = []int{3}
+	s.Simulate = true
+	s.SimTickBudget = 20_000
+	return s
+}
+
+func mustRun(t *testing.T, spec *Spec, opts Options) *Campaign {
+	t.Helper()
+	c, err := Run(spec, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return c
+}
+
+// TestDeterministicAcrossWorkers is the core campaign guarantee: the same
+// spec produces byte-identical result files and identical in-memory
+// results at 1 and 8 workers.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "w1.jsonl")
+	p8 := filepath.Join(dir, "w8.jsonl")
+
+	c1 := mustRun(t, testSpec(), Options{Workers: 1, ResultsPath: p1})
+	c8 := mustRun(t, testSpec(), Options{Workers: 8, ResultsPath: p8})
+
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := os.ReadFile(p8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) == 0 {
+		t.Fatal("empty result file")
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Errorf("result files differ between workers=1 and workers=8:\n%s\nvs\n%s", b1, b8)
+	}
+	if !reflect.DeepEqual(c1.Results, c8.Results) {
+		t.Errorf("in-memory results differ between workers=1 and workers=8")
+	}
+	if c1.Failures() != 0 {
+		t.Errorf("unexpected failures: %d", c1.Failures())
+	}
+}
+
+// TestResume interrupts a campaign (simulated by truncating the
+// checkpoint to a prefix) and verifies the resumed run reproduces the
+// uninterrupted result file byte for byte, re-running only missing
+// points.
+func TestResume(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	part := filepath.Join(dir, "part.jsonl")
+
+	mustRun(t, testSpec(), Options{Workers: 4, ResultsPath: full})
+	want, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep only the first two completed points (plus a torn final line,
+	// as a crash mid-append would leave).
+	lines := strings.SplitAfter(string(want), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("test spec too small: %d lines", len(lines))
+	}
+	partial := lines[0] + lines[1] + `{"key":"mpcp/u0.55/m2/n3/cs6","truncated`
+	if err := os.WriteFile(part, []byte(partial), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var skipped int
+	mustRun(t, testSpec(), Options{
+		Workers:     4,
+		ResultsPath: part,
+		Resume:      true,
+		Progress:    func(p Progress) { skipped = p.Skipped },
+	})
+	got, err := os.ReadFile(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed result file differs from uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+	if skipped != 2 {
+		t.Errorf("resume skipped %d points, want 2", skipped)
+	}
+}
+
+// TestPanicRecovery proves one exploding point is recorded, not fatal,
+// and that resuming re-runs it.
+func TestPanicRecovery(t *testing.T) {
+	spec := testSpec()
+	bad := spec.Points()[1].Key
+	forcePanicHook = func(pt Point) bool { return pt.Key == bad }
+	defer func() { forcePanicHook = nil }()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.jsonl")
+	c := mustRun(t, spec, Options{Workers: 4, ResultsPath: path})
+	if len(c.Results) != len(spec.Points()) {
+		t.Fatalf("got %d results, want %d", len(c.Results), len(spec.Points()))
+	}
+	var failed *PointResult
+	for _, r := range c.Results {
+		if r.Key == bad {
+			failed = r
+		}
+	}
+	if failed == nil || failed.Err == "" {
+		t.Fatalf("panicking point not recorded as failed: %+v", failed)
+	}
+	if c.Failures() == 0 {
+		t.Error("campaign reports zero failures despite a panicked point")
+	}
+
+	// A resumed run re-runs the failed point and heals the file.
+	forcePanicHook = nil
+	c2 := mustRun(t, spec, Options{Workers: 4, ResultsPath: path, Resume: true})
+	for _, r := range c2.Results {
+		if r.Err != "" {
+			t.Errorf("point %s still failed after resume: %s", r.Key, r.Err)
+		}
+	}
+	if c2.Failures() != 0 {
+		t.Errorf("failures after healing resume: %d", c2.Failures())
+	}
+}
+
+func TestTrialSeedStability(t *testing.T) {
+	spec := testSpec()
+	pts := spec.Points()
+	seen := make(map[int64]string)
+	for _, pt := range pts {
+		for trial := 0; trial < spec.SeedsPerPoint; trial++ {
+			s := spec.TrialSeed(pt, trial)
+			if s <= 0 {
+				t.Fatalf("seed %d for %s/%d not positive", s, pt.Key, trial)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision between %s and %s/%d", prev, pt.Key, trial)
+			}
+			seen[s] = pt.Key
+		}
+	}
+	// Seeds depend on the key, not the grid position: reordering axes
+	// must not change a point's draws.
+	re := testSpec()
+	re.Utils = []float64{0.55, 0.35}
+	for _, pt := range re.Points() {
+		for _, orig := range pts {
+			if orig.Key == pt.Key && re.TrialSeed(pt, 0) != spec.TrialSeed(orig, 0) {
+				t.Fatalf("seed for %s changed with axis order", pt.Key)
+			}
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"name": "tiny",
+		"seeds_per_point": 2,
+		"protocols": ["mpcp"],
+		"utils": [0.4],
+		"simulate": true
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "tiny" || spec.SeedsPerPoint != 2 || !spec.Simulate {
+		t.Errorf("spec fields not applied: %+v", spec)
+	}
+	// Defaults fill unnamed axes.
+	if len(spec.Procs) == 0 || len(spec.Periods) == 0 || spec.SimTickBudget == 0 {
+		t.Errorf("defaults not filled: %+v", spec)
+	}
+
+	if _, err := ParseSpec([]byte(`{"protocols": ["pip"]}`)); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"utils": [1.5]}`)); err == nil {
+		t.Error("out-of-range utilization accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"bogus_field": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+// TestSoundness spot-checks the sweep semantics on a completed campaign:
+// no trial admitted by the response-time analysis may miss a deadline in
+// simulation (Theorem 3 soundness, campaign-scale).
+func TestSoundness(t *testing.T) {
+	c := mustRun(t, testSpec(), Options{Workers: 4})
+	for _, r := range c.Results {
+		if r.SimMissedAdmitted != 0 {
+			t.Errorf("point %s: %d admitted trials missed deadlines in simulation",
+				r.Key, r.SimMissedAdmitted)
+		}
+	}
+}

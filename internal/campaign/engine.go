@@ -1,0 +1,277 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options tunes a campaign run.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means runtime.NumCPU().
+	Workers int
+
+	// ResultsPath is the JSONL result file. While the campaign runs it
+	// doubles as the checkpoint: every completed point is appended and
+	// flushed immediately, so a killed campaign loses at most in-flight
+	// points. On successful completion the file is atomically rewritten
+	// in spec order, making it byte-identical across worker counts.
+	// Empty disables persistence (and resume).
+	ResultsPath string
+
+	// Resume loads ResultsPath before running and skips points that
+	// already have a clean, complete result. Failed or truncated points
+	// are re-run.
+	Resume bool
+
+	// Progress, when set, receives a snapshot after every completed
+	// point. Calls arrive from the collector goroutine, never
+	// concurrently.
+	Progress func(Progress)
+}
+
+// Progress is a campaign progress snapshot.
+type Progress struct {
+	Done, Total int
+	// Skipped counts points satisfied from the resume checkpoint.
+	Skipped int
+	// Failures is the running sum of PointResult.Failures.
+	Failures int
+	// PointsPerSec is the completion rate of this run (excluding
+	// skipped points); ETA extrapolates it over the remaining points.
+	PointsPerSec float64
+	ETA          time.Duration
+	Last         *PointResult
+}
+
+// Run executes the campaign described by spec. Results are complete (one
+// per point, in spec order) and deterministic: the same spec yields the
+// same Campaign regardless of Workers. Per-point failures are recorded
+// in the results, not returned as errors; err is reserved for spec
+// validation and I/O problems.
+func Run(spec *Spec, opts Options) (*Campaign, error) {
+	spec.FillDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	points := spec.Points()
+
+	done := make(map[string]*PointResult)
+	if opts.Resume && opts.ResultsPath != "" {
+		prev, err := loadResults(opts.ResultsPath)
+		if err != nil {
+			return nil, err
+		}
+		valid := make(map[string]bool, len(points))
+		for _, pt := range points {
+			valid[pt.Key] = true
+		}
+		for _, r := range prev {
+			// A checkpointed result only satisfies a point if it is
+			// still in the grid, ran the full trial count and did not
+			// fail; anything else is re-run.
+			if valid[r.Key] && r.Trials == spec.SeedsPerPoint && r.Err == "" {
+				done[r.Key] = r
+			}
+		}
+	}
+
+	var todo []Point
+	for _, pt := range points {
+		if _, ok := done[pt.Key]; !ok {
+			todo = append(todo, pt)
+		}
+	}
+
+	var checkpoint *bufio.Writer
+	var checkpointFile *os.File
+	if opts.ResultsPath != "" {
+		if dir := filepath.Dir(opts.ResultsPath); dir != "." && dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, fmt.Errorf("campaign: %w", err)
+			}
+		}
+		flags := os.O_CREATE | os.O_WRONLY
+		if opts.Resume {
+			flags |= os.O_APPEND
+		} else {
+			flags |= os.O_TRUNC
+		}
+		f, err := os.OpenFile(opts.ResultsPath, flags, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		checkpointFile = f
+		checkpoint = bufio.NewWriter(f)
+	}
+
+	ptCh := make(chan Point)
+	resCh := make(chan *PointResult)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pt := range ptCh {
+				resCh <- runPoint(spec, pt)
+			}
+		}()
+	}
+	go func() {
+		for _, pt := range todo {
+			ptCh <- pt
+		}
+		close(ptCh)
+	}()
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Collect. The collector is the only writer of done/checkpoint, so
+	// no locking is needed; workers only compute.
+	start := time.Now()
+	prog := Progress{Total: len(points), Skipped: len(done), Done: len(done)}
+	for _, r := range done {
+		prog.Failures += r.Failures()
+	}
+	completed := 0
+	var ioErr error
+	for r := range resCh {
+		done[r.Key] = r
+		completed++
+		if checkpoint != nil && ioErr == nil {
+			if err := writeResult(checkpoint, r); err != nil {
+				ioErr = err
+			} else if err := checkpoint.Flush(); err != nil {
+				ioErr = err
+			}
+		}
+		if opts.Progress != nil {
+			prog.Done = prog.Skipped + completed
+			prog.Failures += r.Failures()
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				prog.PointsPerSec = float64(completed) / elapsed
+			}
+			if prog.PointsPerSec > 0 {
+				remaining := float64(prog.Total-prog.Done) / prog.PointsPerSec
+				prog.ETA = time.Duration(remaining * float64(time.Second)).Round(time.Second)
+			}
+			prog.Last = r
+			opts.Progress(prog)
+		}
+	}
+	if checkpointFile != nil {
+		if err := checkpointFile.Close(); err != nil && ioErr == nil {
+			ioErr = err
+		}
+	}
+	if ioErr != nil {
+		return nil, fmt.Errorf("campaign: checkpoint: %w", ioErr)
+	}
+
+	c := &Campaign{Spec: spec}
+	for _, pt := range points {
+		c.Results = append(c.Results, done[pt.Key])
+	}
+	// Rewrite the result file in spec order (atomically, via rename) so
+	// the final artifact is byte-identical regardless of worker count or
+	// resume history.
+	if opts.ResultsPath != "" {
+		if err := writeFinal(opts.ResultsPath, c.Results); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func writeResult(w *bufio.Writer, r *PointResult) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(line); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+// loadResults reads a JSONL checkpoint, keeping the last entry per key
+// (a resumed run may have appended a fresh result for a re-run point).
+// Unparsable lines (e.g. a torn final write after a crash) are skipped.
+func loadResults(path string) ([]*PointResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("campaign: resume: %w", err)
+	}
+	defer f.Close()
+	byKey := make(map[string]*PointResult)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var r PointResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil || r.Key == "" {
+			continue
+		}
+		if _, seen := byKey[r.Key]; !seen {
+			order = append(order, r.Key)
+		}
+		byKey[r.Key] = &r
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: resume: %w", err)
+	}
+	out := make([]*PointResult, 0, len(order))
+	for _, k := range order {
+		out = append(out, byKey[k])
+	}
+	return out, nil
+}
+
+// writeFinal atomically replaces path with the results in spec order.
+func writeFinal(path string, results []*PointResult) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if err := writeResult(w, r); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("campaign: %w", err)
+	}
+	return nil
+}

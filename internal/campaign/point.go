@@ -1,0 +1,168 @@
+package campaign
+
+import (
+	"fmt"
+
+	"mpcp/internal/analysis"
+	"mpcp/internal/core"
+	"mpcp/internal/dpcp"
+	"mpcp/internal/hybrid"
+	"mpcp/internal/sim"
+	"mpcp/internal/task"
+	"mpcp/internal/workload"
+)
+
+// forcePanicHook lets tests inject a panic into point evaluation to
+// exercise the recovery path. Nil outside tests.
+var forcePanicHook func(Point) bool
+
+// runPoint evaluates one grid point: SeedsPerPoint seeded trials of
+// generate -> analyze -> (optionally) simulate. It never returns an
+// error; per-trial failures are counted and a recovered panic is
+// recorded in Err so one bad point cannot kill a campaign.
+func runPoint(spec *Spec, pt Point) (res *PointResult) {
+	res = &PointResult{
+		Key:          pt.Key,
+		Protocol:     pt.Protocol,
+		Util:         pt.Util,
+		Procs:        pt.Procs,
+		TasksPerProc: pt.TasksPerProc,
+		CSMax:        pt.CSMax,
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	if forcePanicHook != nil && forcePanicHook(pt) {
+		panic("injected test panic")
+	}
+
+	var blockSum float64
+	var blockTrials int
+	for trial := 0; trial < spec.SeedsPerPoint; trial++ {
+		res.Trials++
+		seed := spec.TrialSeed(pt, trial)
+		sys, err := workload.Generate(spec.WorkloadConfig(pt, seed))
+		if err != nil {
+			res.GenFailed++
+			continue
+		}
+
+		bounds, err := pointBounds(spec, pt, sys)
+		if err != nil {
+			res.AnalysisFailed++
+			continue
+		}
+		rep, err := analysis.Schedulability(sys, bounds, analysis.Options{})
+		if err != nil {
+			res.AnalysisFailed++
+			continue
+		}
+		if rep.SchedulableUtil {
+			res.SchedUtil++
+		}
+		if rep.SchedulableResponse {
+			res.SchedResponse++
+		}
+
+		trialMax, trialSum := 0, 0
+		for _, b := range bounds {
+			if b.Total > trialMax {
+				trialMax = b.Total
+			}
+			trialSum += b.Total
+		}
+		if trialMax > res.MaxBlocking {
+			res.MaxBlocking = trialMax
+		}
+		if len(bounds) > 0 {
+			blockSum += float64(trialSum) / float64(len(bounds))
+			blockTrials++
+		}
+
+		if spec.Simulate {
+			missed, ok := simTrial(spec, pt, sys, res)
+			if ok && missed && rep.SchedulableResponse {
+				res.SimMissedAdmitted++
+			}
+		}
+	}
+	if blockTrials > 0 {
+		res.MeanBlocking = blockSum / float64(blockTrials)
+	}
+	return res
+}
+
+// pointBounds computes the per-task blocking bounds for the point's
+// protocol.
+func pointBounds(spec *Spec, pt Point, sys *task.System) (map[task.ID]*analysis.Bound, error) {
+	switch pt.Protocol {
+	case ProtoMPCP:
+		return analysis.Bounds(sys, analysis.Options{
+			Kind:            analysis.KindMPCP,
+			DeferredPenalty: spec.DeferredPenalty,
+		})
+	case ProtoDPCP:
+		return analysis.Bounds(sys, analysis.Options{
+			Kind:            analysis.KindDPCP,
+			DeferredPenalty: spec.DeferredPenalty,
+		})
+	case ProtoHybrid:
+		return analysis.HybridBounds(sys, analysis.HybridOptions{
+			Remote:          spec.RemoteSems(),
+			DeferredPenalty: spec.DeferredPenalty,
+		})
+	default:
+		return nil, fmt.Errorf("campaign: unknown protocol %q", pt.Protocol)
+	}
+}
+
+// simProtocol builds the simulator protocol matching the point's
+// analysis.
+func simProtocol(spec *Spec, pt Point) (sim.Protocol, error) {
+	switch pt.Protocol {
+	case ProtoMPCP:
+		return core.New(core.Options{}), nil
+	case ProtoDPCP:
+		return dpcp.New(dpcp.Options{}), nil
+	case ProtoHybrid:
+		return hybrid.New(hybrid.Options{Remote: spec.RemoteSems()}), nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown protocol %q", pt.Protocol)
+	}
+}
+
+// simTrial runs one confirmation simulation under the point's tick
+// budget. It reports whether the run missed a deadline and whether the
+// run completed at all.
+func simTrial(spec *Spec, pt Point, sys *task.System, res *PointResult) (missed, ok bool) {
+	proto, err := simProtocol(spec, pt)
+	if err != nil {
+		res.SimFailed++
+		return false, false
+	}
+	horizon := sys.MaxOffset() + sys.Hyperperiod()
+	if budget := spec.SimTickBudget; budget > 0 && horizon > budget {
+		horizon = budget
+		res.SimTruncated++
+	}
+	e, err := sim.New(sys, proto, sim.Config{Horizon: horizon})
+	if err != nil {
+		res.SimFailed++
+		return false, false
+	}
+	r, err := e.Run()
+	if err != nil {
+		res.SimFailed++
+		return false, false
+	}
+	res.Simulated++
+	if r.AnyMiss {
+		res.SimMisses++
+	}
+	if r.Deadlock {
+		res.SimDeadlocks++
+	}
+	return r.AnyMiss, true
+}

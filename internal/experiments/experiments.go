@@ -79,6 +79,13 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
+// NewTable returns an empty table with the given identity. It exists for
+// subsystems outside this package (e.g. internal/campaign) that reuse the
+// paper-table rendering for their own artifacts.
+func NewTable(id, title string, header ...string) *Table {
+	return &Table{ID: id, Title: title, Header: header}
+}
+
 // Experiment pairs an ID with its generator.
 type Experiment struct {
 	ID  string

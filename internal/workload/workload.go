@@ -71,16 +71,37 @@ func Default(seed int64) Config {
 	}
 }
 
-// Generate builds and validates a random system from cfg.
+// WithSeed returns a copy of the configuration with the seed replaced —
+// the per-trial knob of sweep drivers (internal/campaign) that hold every
+// other parameter fixed across a point.
+func (c Config) WithSeed(seed int64) Config {
+	c.Seed = seed
+	return c
+}
+
+// Validate reports whether the configuration can generate a system.
+// Generate performs the same checks; callers that expand a configuration
+// grid (internal/campaign) validate every cell up front so a sweep cannot
+// fail late on a malformed corner.
+func (c Config) Validate() error {
+	if c.NumProcs <= 0 || c.TasksPerProc <= 0 {
+		return errors.New("workload: NumProcs and TasksPerProc must be positive")
+	}
+	if len(c.Periods) == 0 {
+		return errors.New("workload: empty period menu")
+	}
+	if c.UtilPerProc <= 0 || c.UtilPerProc >= 1 {
+		return fmt.Errorf("workload: UtilPerProc %.2f out of (0,1)", c.UtilPerProc)
+	}
+	return nil
+}
+
+// Generate builds and validates a random system from cfg. Each call uses
+// only its own rand.Rand seeded from cfg.Seed, so Generate is safe to
+// call concurrently from multiple goroutines.
 func Generate(cfg Config) (*task.System, error) {
-	if cfg.NumProcs <= 0 || cfg.TasksPerProc <= 0 {
-		return nil, errors.New("workload: NumProcs and TasksPerProc must be positive")
-	}
-	if len(cfg.Periods) == 0 {
-		return nil, errors.New("workload: empty period menu")
-	}
-	if cfg.UtilPerProc <= 0 || cfg.UtilPerProc >= 1 {
-		return nil, fmt.Errorf("workload: UtilPerProc %.2f out of (0,1)", cfg.UtilPerProc)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
