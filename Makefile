@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json repro repro-verify sweep sweep-smoke fuzz vet fmt cover clean
+.PHONY: all build test test-short bench bench-json repro repro-verify sweep sweep-smoke metrics-demo fuzz vet fmt lint cover clean
 
 all: build test
 
@@ -29,6 +29,14 @@ sweep:
 sweep-smoke:
 	$(GO) run ./cmd/rtsweep -spec cmd/rtsweep/testdata/smoke.json -quiet
 
+# End-to-end metrics gate: run the smoke sweep and a sample simulation
+# with metrics snapshots, then validate both against the documented
+# schema with rtmetrics (docs/observability.md).
+metrics-demo:
+	$(GO) run ./cmd/rtsweep -spec cmd/rtsweep/testdata/smoke.json -quiet -metrics sweep-metrics.json
+	$(GO) run ./cmd/rtsim -config testdata/avionics.json -metrics sim-metrics.json > /dev/null
+	$(GO) run ./cmd/rtmetrics sweep-metrics.json sim-metrics.json
+
 # Print every reproduced artifact (E1-E19).
 repro:
 	$(GO) run ./cmd/rtexp
@@ -43,6 +51,17 @@ fuzz:
 
 vet:
 	$(GO) vet ./...
+
+# Lint gate: vet + format check, plus staticcheck when the binary is on
+# PATH (CI installs it; locally it is optional and never downloaded).
+lint: vet
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
+	@if command -v staticcheck > /dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 fmt:
 	gofmt -w .

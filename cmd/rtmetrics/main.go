@@ -1,0 +1,64 @@
+// Command rtmetrics validates and summarizes metrics snapshots written
+// by rtsim -metrics, rtsweep -metrics or rttrace -metrics. It exits
+// non-zero when a snapshot fails schema validation, which makes it the
+// CI gate for the documented metrics format.
+//
+// Usage:
+//
+//	rtmetrics snapshot.json...           # validate and summarize
+//	rtmetrics -q snapshot.json...        # validate only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mpcp/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rtmetrics:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rtmetrics", flag.ContinueOnError)
+	quiet := fs.Bool("q", false, "validate only, print nothing on success")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no snapshot files given")
+	}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		s, err := obs.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if *quiet {
+			continue
+		}
+		fmt.Fprintf(out, "%s: valid (format %s v%d): %d counters, %d gauges, %d histograms\n",
+			path, s.Format, s.Version, len(s.Counters), len(s.Gauges), len(s.Histograms))
+		for _, c := range s.Counters {
+			fmt.Fprintf(out, "  counter    %-40s %d\n", c.Name, c.Value)
+		}
+		for _, g := range s.Gauges {
+			fmt.Fprintf(out, "  gauge      %-40s %g\n", g.Name, g.Value)
+		}
+		for _, h := range s.Histograms {
+			fmt.Fprintf(out, "  histogram  %-40s n=%d mean=%.1f min=%d max=%d\n",
+				h.Name, h.Count, h.Mean(), h.Min, h.Max)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpcp/internal/obs"
+)
+
+// writeSnapshot records a few instruments and writes a valid snapshot.
+func writeSnapshot(t *testing.T) string {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Counter("points_done").Add(7)
+	reg.Gauge("utilization").Set(0.5)
+	reg.Histogram("latency_us").Observe(12)
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummarizes(t *testing.T) {
+	path := writeSnapshot(t)
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"valid", "points_done", "utilization", "latency_us", "n=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	path := writeSnapshot(t)
+	var out strings.Builder
+	if err := run([]string{"-q", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-q printed output: %q", out.String())
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"format":"wrong","version":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{path}, &out); err == nil {
+		t.Error("malformed snapshot accepted")
+	}
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{"/nonexistent.json"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

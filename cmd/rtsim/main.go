@@ -5,6 +5,7 @@
 // Usage:
 //
 //	rtsim -config system.json [-protocol mpcp] [-horizon N] [-gantt] [-events] [-gantt-to N]
+//	rtsim -config system.json -trace-stream run.jsonl -metrics run-metrics.json
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"mpcp/internal/cli"
 	"mpcp/internal/config"
+	"mpcp/internal/obs"
 	"mpcp/internal/sim"
 	"mpcp/internal/task"
 	"mpcp/internal/trace"
@@ -39,6 +41,8 @@ func run(args []string, out io.Writer) error {
 		events     = fs.Bool("events", false, "print the full event log")
 		checks     = fs.Bool("check", true, "verify mutual exclusion and gcs-preemption invariants")
 		traceOut   = fs.String("trace-out", "", "write the trace as JSON to this file")
+		streamOut  = fs.String("trace-stream", "", "stream the trace as JSONL to this file while running")
+		metricsOut = fs.String("metrics", "", "write a metrics snapshot (responses, semaphores, utilization, blocking attribution) as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,11 +61,29 @@ func run(args []string, out io.Writer) error {
 	}
 
 	log := trace.New()
-	engine, err := sim.New(sys, p, sim.Config{Horizon: *horizon, Trace: log})
+	cfg := sim.Config{Horizon: *horizon, Trace: log}
+	var streamFile *os.File
+	if *streamOut != "" {
+		f, err := os.Create(*streamOut)
+		if err != nil {
+			return err
+		}
+		streamFile = f
+		cfg.Sink = trace.NewStreamSink(f)
+	}
+	engine, err := sim.New(sys, p, cfg)
 	if err != nil {
 		return err
 	}
 	res, err := engine.Run()
+	if streamFile != nil {
+		if cerr := cfg.Sink.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if cerr := streamFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -135,6 +157,31 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "\ntrace written to %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		endTick := res.Horizon
+		if res.Deadlock {
+			endTick = res.DeadlockAt + 1
+		}
+		reg := obs.NewRegistry()
+		obs.CollectTrace(reg, log, sys, endTick)
+		rep, err := obs.Attribute(log, sys, endTick)
+		if err != nil {
+			return err
+		}
+		obs.CollectAttribution(reg, rep)
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := reg.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nmetrics snapshot written to %s\n", *metricsOut)
 	}
 	return nil
 }

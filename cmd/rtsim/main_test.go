@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mpcp/internal/obs"
+	"mpcp/internal/trace"
 )
 
 const cfgPath = "../../testdata/avionics.json"
@@ -73,5 +77,49 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-not-a-flag"}, &out); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunMetricsAndStream(t *testing.T) {
+	dir := t.TempDir()
+	buffered := filepath.Join(dir, "trace.json")
+	streamed := filepath.Join(dir, "trace.jsonl")
+	metrics := filepath.Join(dir, "metrics.json")
+	var out strings.Builder
+	err := run([]string{"-config", cfgPath, "-horizon", "300",
+		"-trace-out", buffered, "-trace-stream", streamed, "-metrics", metrics}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// The streamed trace replays to the same log the buffered export holds.
+	sf, err := os.Open(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	replayed, err := trace.ReadStream(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaStream bytes.Buffer
+	if err := replayed.WriteJSON(&viaStream); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := os.ReadFile(buffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct, viaStream.Bytes()) {
+		t.Error("streamed trace replay differs from -trace-out export")
+	}
+
+	mf, err := os.Open(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	if _, err := obs.ReadSnapshot(mf); err != nil {
+		t.Fatalf("metrics snapshot invalid: %v", err)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"mpcp/internal/campaign"
+	"mpcp/internal/obs"
 )
 
 func main() {
@@ -61,11 +62,13 @@ func run(args []string, out, errw io.Writer) (int, error) {
 		hotspot   = fs.Bool("hotspot", false, "force all global critical sections onto one semaphore")
 		stagger   = fs.Bool("stagger", false, "stagger release offsets")
 
-		workers = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
-		outPath = fs.String("out", "", "JSONL result file (checkpoint + final artifact)")
-		resume  = fs.Bool("resume", false, "skip points already complete in -out")
-		format  = fs.String("format", "table", "stdout format: table, csv or jsonl")
-		quiet   = fs.Bool("quiet", false, "suppress progress output")
+		workers    = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		outPath    = fs.String("out", "", "JSONL result file (checkpoint + final artifact)")
+		resume     = fs.Bool("resume", false, "skip points already complete in -out")
+		format     = fs.String("format", "table", "stdout format: table, csv or jsonl")
+		quiet      = fs.Bool("quiet", false, "suppress progress output")
+		metricsOut = fs.String("metrics", "", "write a campaign metrics snapshot (points, failures, per-point latency) as JSON to this file")
+		debugAddr  = fs.String("debug-addr", "", "serve /metrics.json, /debug/vars and /debug/pprof on this address while the campaign runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 0, err
@@ -139,6 +142,19 @@ func run(args []string, out, errw io.Writer) (int, error) {
 		ResultsPath: *outPath,
 		Resume:      *resume,
 	}
+	var reg *obs.Registry
+	if *metricsOut != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
+	}
+	if *debugAddr != "" {
+		addr, stop, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return 0, err
+		}
+		defer stop()
+		fmt.Fprintf(errw, "debug endpoint on http://%s (metrics.json, debug/vars, debug/pprof)\n", addr)
+	}
 	if !*quiet {
 		opts.Progress = func(p campaign.Progress) {
 			fmt.Fprintf(errw, "\r%d/%d points  %.1f pts/s  ETA %s  failures %d ",
@@ -151,6 +167,20 @@ func run(args []string, out, errw io.Writer) (int, error) {
 	}
 	if err != nil {
 		return 0, err
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return 0, err
+		}
+		if err := reg.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return 0, err
+		}
+		if err := f.Close(); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(errw, "metrics snapshot written to %s\n", *metricsOut)
 	}
 
 	switch *format {

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mpcp/internal/obs"
 )
 
 func runCLI(t *testing.T, args ...string) (stdout string, failures int) {
@@ -102,5 +104,41 @@ func TestBadFlags(t *testing.T) {
 		if _, err := run(args, io.Discard, io.Discard); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var out, errb bytes.Buffer
+	if _, err := run([]string{"-spec", "testdata/smoke.json", "-quiet", "-metrics", path}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := obs.ReadSnapshot(f)
+	if err != nil {
+		t.Fatalf("snapshot invalid: %v", err)
+	}
+	var done int64 = -1
+	for _, c := range s.Counters {
+		if c.Name == "campaign_points_done" {
+			done = c.Value
+		}
+	}
+	if done != 2 {
+		t.Errorf("campaign_points_done = %d, want 2", done)
+	}
+}
+
+func TestDebugAddr(t *testing.T) {
+	var out, errb bytes.Buffer
+	if _, err := run([]string{"-spec", "testdata/smoke.json", "-quiet", "-debug-addr", "127.0.0.1:0"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errb.String(), "debug endpoint on http://127.0.0.1:") {
+		t.Errorf("no debug endpoint announcement:\n%s", errb.String())
 	}
 }

@@ -1,10 +1,12 @@
 // Command rttrace renders a trace previously written by rtsim -trace-out
-// (or mpcp.WriteTraceJSON): a per-processor Gantt chart, invariant
-// checks, and optionally the raw event log.
+// or streamed with rtsim -trace-stream: a per-processor Gantt chart,
+// invariant checks, blocking attribution against the Section 5.1
+// taxonomy, and optionally the raw event log.
 //
 // Usage:
 //
 //	rttrace -config system.json -trace run.json [-from 0] [-to 60] [-events]
+//	rttrace -config system.json -trace run.json -blocking [-protocol mpcp]
 package main
 
 import (
@@ -12,8 +14,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"mpcp/internal/analysis"
 	"mpcp/internal/config"
+	"mpcp/internal/obs"
+	"mpcp/internal/task"
 	"mpcp/internal/trace"
 )
 
@@ -32,6 +38,10 @@ func run(args []string, out io.Writer) error {
 		from       = fs.Int("from", 0, "first tick of the chart")
 		to         = fs.Int("to", 0, "last tick of the chart (0 = trace horizon)")
 		events     = fs.Bool("events", false, "print the event log")
+		blocking   = fs.Bool("blocking", false, "attribute every waiting tick to the Section 5.1 blocking taxonomy")
+		protoName  = fs.String("protocol", "", "with -blocking: compare measured blocking to this protocol's analytical bound (mpcp or dpcp)")
+		horizon    = fs.Int("horizon", 0, "simulated horizon in ticks (0 = one past the last trace record)")
+		metricsOut = fs.String("metrics", "", "write a metrics snapshot derived from the trace as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,12 +54,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(*tracePath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	log, err := trace.ReadJSON(f)
+	log, err := loadTrace(*tracePath)
 	if err != nil {
 		return err
 	}
@@ -73,6 +78,52 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "\ninvariants: mutual exclusion ok, gcs never preempted by non-critical code")
 	}
 
+	endTick := *horizon
+	if endTick <= 0 {
+		endTick = log.Horizon()
+	}
+
+	if *blocking {
+		rep, err := obs.Attribute(log, sys, endTick)
+		if err != nil {
+			return err
+		}
+		var bounds map[task.ID]*analysis.Bound
+		if *protoName != "" {
+			kind, err := analysisKind(*protoName)
+			if err != nil {
+				return err
+			}
+			bounds, err = analysis.Bounds(sys, analysis.Options{Kind: kind, DeferredPenalty: true})
+			if err != nil {
+				return err
+			}
+		}
+		printBlocking(out, rep, bounds)
+	}
+
+	if *metricsOut != "" {
+		reg := obs.NewRegistry()
+		obs.CollectTrace(reg, log, sys, endTick)
+		rep, err := obs.Attribute(log, sys, endTick)
+		if err != nil {
+			return err
+		}
+		obs.CollectAttribution(reg, rep)
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := reg.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nmetrics snapshot written to %s\n", *metricsOut)
+	}
+
 	if *events {
 		fmt.Fprintln(out)
 		for _, e := range log.Events {
@@ -80,4 +131,51 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// loadTrace reads either a buffered JSON trace (rtsim -trace-out) or a
+// JSONL stream (rtsim -trace-stream), sniffing the stream header.
+func loadTrace(path string) (*trace.Log, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(strings.TrimLeft(string(data), " \t\r\n"), `{"format":"mpcp-trace-stream"`) {
+		return trace.ReadStream(strings.NewReader(string(data)))
+	}
+	return trace.ReadJSON(strings.NewReader(string(data)))
+}
+
+func analysisKind(name string) (analysis.Kind, error) {
+	switch name {
+	case "mpcp":
+		return analysis.KindMPCP, nil
+	case "dpcp":
+		return analysis.KindDPCP, nil
+	default:
+		return 0, fmt.Errorf("-protocol %q: analytical bounds exist for mpcp and dpcp", name)
+	}
+}
+
+func printBlocking(out io.Writer, rep *obs.Report, bounds map[task.ID]*analysis.Bound) {
+	fmt.Fprintf(out, "\nblocking attribution over %d ticks (Section 5.1 taxonomy):\n", rep.EndTick)
+	fmt.Fprintf(out, "%-6s %-5s %-8s %-8s %-8s %-7s %-8s %-8s %-8s %-8s\n",
+		"task", "jobs", "running", "remote", "preempt", "local", "globWait", "spin", "gcsInv", "inv")
+	for _, ta := range rep.Tasks {
+		fmt.Fprintf(out, "%-6d %-5d %-8d %-8d %-8d %-7d %-8d %-8d %-8d %-8d\n",
+			ta.Task, ta.Jobs, ta.Running, ta.RemoteExec, ta.Preemption,
+			ta.LocalBlocking, ta.GlobalWait, ta.Spin, ta.GcsInversion, ta.Inversion)
+	}
+	if bounds == nil {
+		return
+	}
+	fmt.Fprintf(out, "\nmeasured worst-case blocking vs analytical bound:\n")
+	fmt.Fprintf(out, "%-6s %-10s %-8s %-8s\n", "task", "measured", "bound", "within")
+	for _, row := range obs.CompareBounds(rep, bounds) {
+		within := "yes"
+		if !row.Within {
+			within = "NO"
+		}
+		fmt.Fprintf(out, "%-6d %-10d %-8d %-8s\n", row.Task, row.Measured, row.Bound, within)
+	}
 }

@@ -6,8 +6,11 @@ import (
 	"strings"
 	"testing"
 
+	"strconv"
+
 	"mpcp/internal/config"
 	"mpcp/internal/core"
+	"mpcp/internal/obs"
 	"mpcp/internal/sim"
 	"mpcp/internal/trace"
 )
@@ -73,5 +76,100 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-config", cfgPath, "-trace", "/nonexistent.json"}, &out); err == nil {
 		t.Error("missing trace file accepted")
+	}
+}
+
+// writeStreamTrace simulates the sample workload through a streaming
+// sink and returns the JSONL path plus the true simulated horizon.
+func writeStreamTrace(t *testing.T) (string, int) {
+	t.Helper()
+	sys, err := config.Load(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := trace.NewStreamSink(f)
+	e, err := sim.New(sys, core.New(core.Options{}), sim.Config{Horizon: 200, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, res.Horizon
+}
+
+func TestRunBlockingAttribution(t *testing.T) {
+	tracePath := writeTrace(t)
+	var out strings.Builder
+	err := run([]string{"-config", cfgPath, "-trace", tracePath,
+		"-blocking", "-protocol", "mpcp", "-horizon", "200"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"blocking attribution over 200 ticks",
+		"globWait",
+		"measured worst-case blocking vs analytical bound",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "NO") {
+		t.Error("measured blocking exceeds the analytical bound on the sample workload")
+	}
+}
+
+func TestRunBlockingBadProtocol(t *testing.T) {
+	tracePath := writeTrace(t)
+	var out strings.Builder
+	err := run([]string{"-config", cfgPath, "-trace", tracePath, "-blocking", "-protocol", "bogus"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("bad -protocol accepted: %v", err)
+	}
+}
+
+func TestRunStreamedTrace(t *testing.T) {
+	tracePath, horizon := writeStreamTrace(t)
+	var out strings.Builder
+	err := run([]string{"-config", cfgPath, "-trace", tracePath,
+		"-blocking", "-horizon", strconv.Itoa(horizon)}, &out)
+	if err != nil {
+		t.Fatalf("run on streamed trace: %v", err)
+	}
+	if !strings.Contains(out.String(), "blocking attribution") {
+		t.Error("attribution missing for streamed trace")
+	}
+}
+
+func TestRunMetricsFromTrace(t *testing.T) {
+	tracePath := writeTrace(t)
+	metrics := filepath.Join(t.TempDir(), "metrics.json")
+	var out strings.Builder
+	err := run([]string{"-config", cfgPath, "-trace", tracePath,
+		"-horizon", "200", "-metrics", metrics}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	mf, err := os.Open(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	if _, err := obs.ReadSnapshot(mf); err != nil {
+		t.Fatalf("metrics snapshot invalid: %v", err)
 	}
 }

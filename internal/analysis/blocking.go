@@ -98,6 +98,28 @@ type Bound struct {
 	Total int
 }
 
+// Factor is one named component of a blocking bound, for report tooling
+// that wants the decomposition without reaching into Bound's fields.
+type Factor struct {
+	Name  string `json:"name"`
+	Ticks int    `json:"ticks"`
+}
+
+// Factors returns the bound's decomposition in the paper's factor order
+// (Section 5.1, factors 1–5, then the optional deferred penalty). The
+// slice always has six entries so downstream formats stay aligned; the
+// names are stable identifiers, not display strings.
+func (b *Bound) Factors() []Factor {
+	return []Factor{
+		{Name: "local-blocking", Ticks: b.LocalBlocking},
+		{Name: "global-held-by-lower", Ticks: b.GlobalHeldByLower},
+		{Name: "remote-preemption", Ticks: b.RemotePreemption},
+		{Name: "blocking-proc-gcs", Ticks: b.BlockingProcGcs},
+		{Name: "lower-local-gcs", Ticks: b.LowerLocalGcs},
+		{Name: "deferred-penalty", Ticks: b.DeferredPenalty},
+	}
+}
+
 // Errors surfaced by the analysis.
 var (
 	ErrNotValidated = errors.New("analysis: system not validated")

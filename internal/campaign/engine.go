@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"mpcp/internal/obs"
 )
 
 // Options tunes a campaign run.
@@ -31,8 +33,18 @@ type Options struct {
 
 	// Progress, when set, receives a snapshot after every completed
 	// point. Calls arrive from the collector goroutine, never
-	// concurrently.
+	// concurrently. The last snapshot of a run is always terminal:
+	// Done == Total and ETA == 0, even when every point was satisfied
+	// from the resume checkpoint.
 	Progress func(Progress)
+
+	// Metrics, when set, receives live campaign instrumentation:
+	// campaign_points_total / _skipped / _done / _failures counters, a
+	// campaign_point_us latency histogram (observed worker-side, so it
+	// reflects true per-point cost under concurrency) and a
+	// campaign_points_per_sec gauge. Timing lives only here — point
+	// results stay deterministic and byte-identical across runs.
+	Metrics *obs.Registry
 }
 
 // Progress is a campaign progress snapshot.
@@ -122,7 +134,10 @@ func Run(spec *Spec, opts Options) (*Campaign, error) {
 		go func() {
 			defer wg.Done()
 			for pt := range ptCh {
-				resCh <- runPoint(spec, pt)
+				t0 := time.Now()
+				r := runPoint(spec, pt)
+				opts.Metrics.Histogram("campaign_point_us").Observe(time.Since(t0).Microseconds())
+				resCh <- r
 			}
 		}()
 	}
@@ -144,11 +159,15 @@ func Run(spec *Spec, opts Options) (*Campaign, error) {
 	for _, r := range done {
 		prog.Failures += r.Failures()
 	}
+	opts.Metrics.Counter("campaign_points_total").Add(int64(len(points)))
+	opts.Metrics.Counter("campaign_points_skipped").Add(int64(len(done)))
 	completed := 0
 	var ioErr error
 	for r := range resCh {
 		done[r.Key] = r
 		completed++
+		opts.Metrics.Counter("campaign_points_done").Inc()
+		opts.Metrics.Counter("campaign_failures").Add(int64(r.Failures()))
 		if checkpoint != nil && ioErr == nil {
 			if err := writeResult(checkpoint, r); err != nil {
 				ioErr = err
@@ -170,6 +189,18 @@ func Run(spec *Spec, opts Options) (*Campaign, error) {
 			prog.Last = r
 			opts.Progress(prog)
 		}
+	}
+	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+		opts.Metrics.Gauge("campaign_points_per_sec").Set(float64(completed) / elapsed)
+	}
+	// When every point came from the checkpoint the loop above never
+	// fires; still deliver the terminal snapshot so consumers always see
+	// Done == Total with ETA 0. (With completed > 0 the last per-point
+	// snapshot is already terminal.)
+	if opts.Progress != nil && completed == 0 {
+		prog.Done = prog.Skipped
+		prog.ETA = 0
+		opts.Progress(prog)
 	}
 	if checkpointFile != nil {
 		if err := checkpointFile.Close(); err != nil && ioErr == nil {

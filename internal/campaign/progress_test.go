@@ -1,0 +1,94 @@
+package campaign
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mpcp/internal/obs"
+)
+
+// TestProgressTerminalSnapshot: the last progress snapshot of a run is
+// always terminal — Done == Total, ETA zero.
+func TestProgressTerminalSnapshot(t *testing.T) {
+	var snaps []Progress
+	mustRun(t, testSpec(), Options{Workers: 4, Progress: func(p Progress) {
+		snaps = append(snaps, p)
+	}})
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots")
+	}
+	last := snaps[len(snaps)-1]
+	if last.Done != last.Total || last.Total == 0 {
+		t.Errorf("terminal snapshot not complete: %d/%d", last.Done, last.Total)
+	}
+	if last.ETA != 0 {
+		t.Errorf("terminal snapshot has ETA %v, want 0", last.ETA)
+	}
+	for i, p := range snaps[:len(snaps)-1] {
+		if p.Done > last.Total {
+			t.Errorf("snapshot %d overshoots: %d/%d", i, p.Done, p.Total)
+		}
+	}
+}
+
+// TestProgressTerminalSnapshotAllSkipped: a fully resumed campaign (no
+// point re-run) still delivers the terminal snapshot.
+func TestProgressTerminalSnapshotAllSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	mustRun(t, testSpec(), Options{Workers: 4, ResultsPath: path})
+
+	var snaps []Progress
+	mustRun(t, testSpec(), Options{Workers: 4, ResultsPath: path, Resume: true,
+		Progress: func(p Progress) { snaps = append(snaps, p) }})
+	if len(snaps) != 1 {
+		t.Fatalf("want exactly the terminal snapshot, got %d", len(snaps))
+	}
+	p := snaps[0]
+	if p.Done != p.Total || p.Skipped != p.Total || p.Total == 0 || p.ETA != 0 {
+		t.Errorf("terminal snapshot after full resume: %+v", p)
+	}
+}
+
+// TestCampaignMetrics: the registry reflects the run, and instrumenting
+// does not perturb the deterministic results.
+func TestCampaignMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := mustRun(t, testSpec(), Options{Workers: 4, Metrics: reg})
+
+	s := reg.Snapshot()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]int64{}
+	for _, cs := range s.Counters {
+		counters[cs.Name] = cs.Value
+	}
+	total := int64(len(c.Results))
+	if counters["campaign_points_total"] != total {
+		t.Errorf("points_total %d, want %d", counters["campaign_points_total"], total)
+	}
+	if counters["campaign_points_done"] != total {
+		t.Errorf("points_done %d, want %d", counters["campaign_points_done"], total)
+	}
+	if counters["campaign_points_skipped"] != 0 {
+		t.Errorf("points_skipped %d, want 0", counters["campaign_points_skipped"])
+	}
+	var lat *obs.HistogramSnapshot
+	for i := range s.Histograms {
+		if s.Histograms[i].Name == "campaign_point_us" {
+			lat = &s.Histograms[i]
+		}
+	}
+	if lat == nil || lat.Count != total {
+		t.Fatalf("campaign_point_us: %+v, want %d observations", lat, total)
+	}
+	var perSec float64
+	for _, g := range s.Gauges {
+		if g.Name == "campaign_points_per_sec" {
+			perSec = g.Value
+		}
+	}
+	if perSec <= 0 {
+		t.Errorf("campaign_points_per_sec %v, want > 0", perSec)
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+
+	"mpcp/internal/task"
+	"mpcp/internal/trace"
+)
+
+// CollectTrace derives run metrics from a trace: per-task response-time
+// histograms, per-semaphore wait/hold/queue-length histograms,
+// per-processor utilization and preemption counts, and deadline misses.
+// endTick is the number of executed ticks (as for Attribute). All
+// metrics are deterministic functions of the trace, so two runs with
+// equal traces snapshot to equal bytes.
+func CollectTrace(reg *Registry, l *trace.Log, sys *task.System, endTick int) {
+	type jk struct {
+		task task.ID
+		job  int
+	}
+	released := make(map[jk]int)
+	waitingOn := make(map[jk]task.SemID)
+	waitStart := make(map[jk]int)
+	queueLen := make(map[task.SemID]int)
+	holdStart := make(map[task.SemID]int)
+
+	for _, e := range l.Events {
+		k := jk{task: e.Task, job: e.Job}
+		switch e.Kind {
+		case trace.EvRelease:
+			released[k] = e.Time
+		case trace.EvFinish:
+			if rel, ok := released[k]; ok {
+				reg.Histogram(fmt.Sprintf("response_ticks{task=%d}", e.Task)).Observe(int64(e.Time - rel))
+				delete(released, k)
+			}
+		case trace.EvDeadlineMiss:
+			reg.Counter(fmt.Sprintf("deadline_misses{task=%d}", e.Task)).Inc()
+		case trace.EvPreempt:
+			reg.Counter(fmt.Sprintf("preemptions{proc=%d}", e.Proc)).Inc()
+		case trace.EvBlockLocal, trace.EvSuspendGlobal, trace.EvSpinGlobal:
+			if _, already := waitingOn[k]; !already {
+				waitingOn[k] = e.Sem
+				waitStart[k] = e.Time
+				queueLen[e.Sem]++
+				reg.Histogram(fmt.Sprintf("sem_queue_len{sem=%d}", e.Sem)).Observe(int64(queueLen[e.Sem]))
+			}
+		case trace.EvReady:
+			if sem, ok := waitingOn[k]; ok {
+				reg.Histogram(fmt.Sprintf("sem_wait_ticks{sem=%d}", sem)).Observe(int64(e.Time - waitStart[k]))
+				queueLen[sem]--
+				delete(waitingOn, k)
+				delete(waitStart, k)
+			}
+		case trace.EvLock:
+			holdStart[e.Sem] = e.Time
+		case trace.EvUnlock:
+			if start, ok := holdStart[e.Sem]; ok {
+				reg.Histogram(fmt.Sprintf("sem_hold_ticks{sem=%d}", e.Sem)).Observe(int64(e.Time - start))
+				delete(holdStart, e.Sem)
+			}
+		}
+	}
+
+	busy := make([]int64, sys.NumProcs)
+	gcs := make([]int64, sys.NumProcs)
+	for _, x := range l.Execs {
+		if int(x.Proc) >= sys.NumProcs {
+			continue
+		}
+		busy[x.Proc]++
+		if x.InGCS {
+			gcs[x.Proc]++
+		}
+	}
+	for p := 0; p < sys.NumProcs; p++ {
+		reg.Counter(fmt.Sprintf("proc_busy_ticks{proc=%d}", p)).Add(busy[p])
+		reg.Counter(fmt.Sprintf("proc_gcs_ticks{proc=%d}", p)).Add(gcs[p])
+		util := 0.0
+		if endTick > 0 {
+			util = float64(busy[p]) / float64(endTick)
+		}
+		reg.Gauge(fmt.Sprintf("proc_utilization{proc=%d}", p)).Set(util)
+	}
+}
+
+// CollectAttribution exports an attribution report into the registry:
+// per-task, per-category blocking tick counters and the worst single-job
+// blocking gauge.
+func CollectAttribution(reg *Registry, rep *Report) {
+	for _, ta := range rep.Tasks {
+		for _, c := range []struct {
+			cat   Category
+			ticks int
+		}{
+			{CatRunning, ta.Running},
+			{CatRemoteExec, ta.RemoteExec},
+			{CatPreemption, ta.Preemption},
+			{CatLocalBlocking, ta.LocalBlocking},
+			{CatGlobalWait, ta.GlobalWait},
+			{CatSpin, ta.Spin},
+			{CatGcsInversion, ta.GcsInversion},
+			{CatInversion, ta.Inversion},
+		} {
+			if c.ticks > 0 {
+				reg.Counter(fmt.Sprintf("attributed_ticks{cat=%s,task=%d}", c.cat, ta.Task)).Add(int64(c.ticks))
+			}
+		}
+		reg.Gauge(fmt.Sprintf("max_blocking_ticks{task=%d}", ta.Task)).Set(float64(ta.MaxBlocking))
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler serves live instrumentation for a running process:
+//
+//	/metrics.json  – the registry's snapshot in the stable schema
+//	/debug/vars    – expvar (Go runtime and process counters)
+//	/debug/pprof/  – the standard profiling endpoints
+//
+// The handler snapshots the registry on every request, so it can be
+// polled while a campaign is running.
+func DebugHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug endpoint on addr (e.g. "localhost:6060";
+// port 0 picks a free port). It returns the bound address and a stop
+// function. Serving errors after startup are ignored: the endpoint is
+// best-effort instrumentation, not part of the computation.
+func ServeDebug(addr string, reg *Registry) (boundAddr string, stop func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: DebugHandler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

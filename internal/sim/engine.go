@@ -60,6 +60,15 @@ type Config struct {
 	// Trace receives the event log; nil disables tracing.
 	Trace *trace.Log
 
+	// Sink, when set, receives every trace record as it is produced, in
+	// addition to Trace (if any). A streaming sink lets long-horizon runs
+	// emit a full trace without buffering it in memory. The engine never
+	// closes the sink; a sink write error aborts the run. Note that
+	// *trace.Log itself implements trace.Sink, so Sink subsumes Trace —
+	// Trace remains for callers that want the in-memory log back on the
+	// Result.
+	Sink trace.Sink
+
 	// RetainJobs keeps every job instance in the Result for per-job
 	// inspection. Aggregated per-task statistics are always kept.
 	RetainJobs bool
@@ -147,6 +156,8 @@ type Engine struct {
 	seq     uint64
 
 	log      *trace.Log
+	sink     trace.Sink
+	sinkErr  error
 	result   *Result
 	finished bool
 
@@ -172,6 +183,7 @@ func New(sys *task.System, proto Protocol, cfg Config) (*Engine, error) {
 		procs:  make([]*Job, sys.NumProcs),
 		taskIx: make(map[task.ID]int, len(sys.Tasks)),
 		log:    log,
+		sink:   cfg.Sink,
 		result: &Result{
 			Protocol:   proto.Name(),
 			Horizon:    cfg.Horizon,
@@ -195,6 +207,29 @@ func New(sys *task.System, proto Protocol, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("sim: protocol init: %w", err)
 	}
 	return e, nil
+}
+
+// emit records a trace event in the buffered log and forwards it to the
+// configured sink, latching the first sink error (which aborts the run at
+// the next Step boundary — a trace with silent holes is worse than a
+// failed run).
+func (e *Engine) emit(ev trace.Event) {
+	e.log.Add(ev)
+	if e.sink != nil && e.sinkErr == nil {
+		if err := e.sink.Event(ev); err != nil {
+			e.sinkErr = fmt.Errorf("sim: trace sink: %w", err)
+		}
+	}
+}
+
+// emitExec is emit for execution ticks.
+func (e *Engine) emitExec(x trace.Exec) {
+	e.log.AddExec(x)
+	if e.sink != nil && e.sinkErr == nil {
+		if err := e.sink.Exec(x); err != nil {
+			e.sinkErr = fmt.Errorf("sim: trace sink: %w", err)
+		}
+	}
 }
 
 // Sys returns the workload under simulation.
@@ -251,6 +286,11 @@ func (e *Engine) Step() (done bool, err error) {
 	if stop || e.now >= e.cfg.Horizon {
 		return e.finishRun()
 	}
+	if e.sinkErr != nil {
+		e.err = e.sinkErr
+		e.finished = true
+		return true, e.err
+	}
 	return false, nil
 }
 
@@ -260,6 +300,9 @@ func (e *Engine) finishRun() (bool, error) {
 	e.finished = true
 	e.now = e.cfg.Horizon
 	e.settle()
+	if e.err == nil && e.sinkErr != nil {
+		e.err = e.sinkErr
+	}
 	return true, e.err
 }
 
@@ -293,7 +336,7 @@ func (e *Engine) releaseJobs() {
 			if e.cfg.RetainJobs {
 				e.result.Jobs = append(e.result.Jobs, j)
 			}
-			e.log.Add(trace.Event{Time: e.now, Kind: trace.EvRelease, Task: t.ID, Job: j.Index, Proc: t.Proc})
+			e.emit(trace.Event{Time: e.now, Kind: trace.EvRelease, Task: t.ID, Job: j.Index, Proc: t.Proc})
 			e.proto.OnRelease(e, j)
 		}
 	}
@@ -443,7 +486,7 @@ func (e *Engine) CompleteLock(j *Job, s task.SemID) {
 		j.PC++
 		e.loadSegment(j)
 	}
-	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvLock, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
+	e.emit(trace.Event{Time: e.now, Kind: trace.EvLock, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
 }
 
 // exitCS updates nesting bookkeeping when j executes V(s).
@@ -460,7 +503,7 @@ func (e *Engine) exitCS(j *Job, s task.SemID) {
 	if sem := e.sys.SemByID(s); sem != nil && sem.Global && j.GCS > 0 {
 		j.GCS--
 	}
-	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvUnlock, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
+	e.emit(trace.Event{Time: e.now, Kind: trace.EvUnlock, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
 }
 
 func (e *Engine) finish(j *Job) {
@@ -495,7 +538,7 @@ func (e *Engine) finish(j *Job) {
 	if b := j.MeasuredBlocking(); b > st.MaxMeasuredB {
 		st.MaxMeasuredB = b
 	}
-	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvFinish, Task: j.Task.ID, Job: j.Index, Proc: j.Proc})
+	e.emit(trace.Event{Time: e.now, Kind: trace.EvFinish, Task: j.Task.ID, Job: j.Index, Proc: j.Proc})
 	e.proto.OnFinish(e, j)
 }
 
@@ -538,10 +581,10 @@ func (e *Engine) dispatchAndAdvance() {
 		if j != prev {
 			if prev != nil && prev.State == StateReady {
 				e.result.Procs[p].Preemptions++
-				e.log.Add(trace.Event{Time: e.now, Kind: trace.EvPreempt, Task: prev.StatsTask(), Job: prev.Index, Proc: proc})
+				e.emit(trace.Event{Time: e.now, Kind: trace.EvPreempt, Task: prev.StatsTask(), Job: prev.Index, Proc: proc})
 			}
 			if j != nil {
-				e.log.Add(trace.Event{Time: e.now, Kind: trace.EvStart, Task: j.StatsTask(), Job: j.Index, Proc: proc})
+				e.emit(trace.Event{Time: e.now, Kind: trace.EvStart, Task: j.StatsTask(), Job: j.Index, Proc: proc})
 			}
 		}
 		e.procs[p] = j
@@ -557,11 +600,11 @@ func (e *Engine) dispatchAndAdvance() {
 		if j.State == StateSpinning {
 			ps.SpinTicks++
 			j.SpinTicks++
-			e.log.AddExec(trace.Exec{Time: e.now, Proc: proc, Task: j.StatsTask(), Job: j.Index, InCS: false, InGCS: false})
+			e.emitExec(trace.Exec{Time: e.now, Proc: proc, Task: j.StatsTask(), Job: j.Index, InCS: false, InGCS: false})
 			continue
 		}
 		// Ready job at a compute segment (settle guarantees this).
-		e.log.AddExec(trace.Exec{
+		e.emitExec(trace.Exec{
 			Time: e.now, Proc: proc, Task: j.StatsTask(), Job: j.Index,
 			InCS: j.CSDepth > 0, InGCS: j.GCS > 0,
 		})
@@ -633,7 +676,7 @@ func (e *Engine) checkDeadlines() {
 			j.Missed = true
 			e.result.AnyMiss = true
 			e.result.Stats[j.Task.ID].Missed++
-			e.log.Add(trace.Event{Time: e.now, Kind: trace.EvDeadlineMiss, Task: j.Task.ID, Job: j.Index, Proc: j.Proc})
+			e.emit(trace.Event{Time: e.now, Kind: trace.EvDeadlineMiss, Task: j.Task.ID, Job: j.Index, Proc: j.Proc})
 		}
 	}
 }
@@ -665,13 +708,20 @@ func (e *Engine) SetEffPrio(j *Job, prio int) {
 		return
 	}
 	j.EffPrio = prio
-	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvInherit, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Prio: prio})
+	e.emit(trace.Event{Time: e.now, Kind: trace.EvInherit, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Prio: prio})
 }
 
-// MakeReady moves j into the ready state (fresh FCFS sequence).
+// MakeReady moves j into the ready state (fresh FCFS sequence). A wake
+// from a waiting state is recorded as an EvReady event — it is what lets
+// trace consumers (the blocking-attribution analyzer in internal/obs)
+// distinguish "still blocked" from "ready but displaced" without
+// re-running the protocol.
 func (e *Engine) MakeReady(j *Job) {
 	if j.State == StateFinished {
 		return
+	}
+	if j.State != StateReady {
+		e.emit(trace.Event{Time: e.now, Kind: trace.EvReady, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc})
 	}
 	j.State = StateReady
 	j.readySeq = e.nextSeq()
@@ -680,24 +730,24 @@ func (e *Engine) MakeReady(j *Job) {
 // BlockLocal marks j blocked on local semaphore s (ceiling blocking).
 func (e *Engine) BlockLocal(j *Job, s task.SemID) {
 	j.State = StateBlocked
-	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvBlockLocal, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
+	e.emit(trace.Event{Time: e.now, Kind: trace.EvBlockLocal, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
 }
 
 // SuspendGlobal marks j suspended waiting for global semaphore s.
 func (e *Engine) SuspendGlobal(j *Job, s task.SemID) {
 	j.State = StateSuspended
-	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvSuspendGlobal, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
+	e.emit(trace.Event{Time: e.now, Kind: trace.EvSuspendGlobal, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
 }
 
 // SpinGlobal marks j busy-waiting for global semaphore s.
 func (e *Engine) SpinGlobal(j *Job, s task.SemID) {
 	j.State = StateSpinning
-	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvSpinGlobal, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
+	e.emit(trace.Event{Time: e.now, Kind: trace.EvSpinGlobal, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
 }
 
 // Grant records that semaphore s was handed to waiter j.
 func (e *Engine) Grant(j *Job, s task.SemID, gcsPrio int) {
-	e.log.Add(trace.Event{Time: e.now, Kind: trace.EvGrant, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s, Prio: gcsPrio})
+	e.emit(trace.Event{Time: e.now, Kind: trace.EvGrant, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s, Prio: gcsPrio})
 }
 
 // JumpTo moves j's program counter to pc (e.g. past a remotely executed

@@ -11,6 +11,13 @@ import (
 // The JSON export format is a stable contract for external tooling
 // (plotting Gantt charts, diffing runs). Mirror structs carry the field
 // tags so internal renames never break the format.
+//
+// Format v2 note: sem and prio were originally tagged omitempty, which
+// silently dropped semaphore ID 0 and priority 0 on export — a lock event
+// on semaphore 0 became indistinguishable from a non-semaphore event.
+// Both fields are now always emitted. ReadJSON accepts either form (a
+// missing field decodes as 0, exactly what omitempty had dropped), so v1
+// traces remain readable.
 
 type jsonLog struct {
 	Events []jsonEvent `json:"events"`
@@ -23,8 +30,8 @@ type jsonEvent struct {
 	Task int    `json:"task"`
 	Job  int    `json:"job"`
 	Proc int    `json:"proc"`
-	Sem  int    `json:"sem,omitempty"`
-	Prio int    `json:"prio,omitempty"`
+	Sem  int    `json:"sem"`
+	Prio int    `json:"prio"`
 }
 
 type jsonExec struct {
@@ -49,6 +56,7 @@ var kindNames = map[EventKind]string{
 	EvInherit:       "inherit",
 	EvFinish:        "finish",
 	EvDeadlineMiss:  "deadline-miss",
+	EvReady:         "ready",
 }
 
 var kindValues = func() map[string]EventKind {
@@ -59,6 +67,40 @@ var kindValues = func() map[string]EventKind {
 	return m
 }()
 
+// toJSONEvent converts an Event to its wire form.
+func toJSONEvent(e Event) jsonEvent {
+	return jsonEvent{
+		Time: e.Time, Kind: kindNames[e.Kind], Task: int(e.Task),
+		Job: e.Job, Proc: int(e.Proc), Sem: int(e.Sem), Prio: e.Prio,
+	}
+}
+
+// fromJSONEvent converts a wire event back, rejecting unknown kinds.
+func fromJSONEvent(je jsonEvent) (Event, error) {
+	kind, ok := kindValues[je.Kind]
+	if !ok {
+		return Event{}, fmt.Errorf("trace: unknown event kind %q", je.Kind)
+	}
+	return Event{
+		Time: je.Time, Kind: kind, Task: task.ID(je.Task), Job: je.Job,
+		Proc: task.ProcID(je.Proc), Sem: task.SemID(je.Sem), Prio: je.Prio,
+	}, nil
+}
+
+func toJSONExec(x Exec) jsonExec {
+	return jsonExec{
+		Time: x.Time, Proc: int(x.Proc), Task: int(x.Task), Job: x.Job,
+		InCS: x.InCS, InGCS: x.InGCS,
+	}
+}
+
+func fromJSONExec(jx jsonExec) Exec {
+	return Exec{
+		Time: jx.Time, Proc: task.ProcID(jx.Proc), Task: task.ID(jx.Task),
+		Job: jx.Job, InCS: jx.InCS, InGCS: jx.InGCS,
+	}
+}
+
 // WriteJSON serializes the log.
 func (l *Log) WriteJSON(w io.Writer) error {
 	out := jsonLog{
@@ -66,16 +108,10 @@ func (l *Log) WriteJSON(w io.Writer) error {
 		Execs:  make([]jsonExec, 0, len(l.Execs)),
 	}
 	for _, e := range l.Events {
-		out.Events = append(out.Events, jsonEvent{
-			Time: e.Time, Kind: kindNames[e.Kind], Task: int(e.Task),
-			Job: e.Job, Proc: int(e.Proc), Sem: int(e.Sem), Prio: e.Prio,
-		})
+		out.Events = append(out.Events, toJSONEvent(e))
 	}
 	for _, x := range l.Execs {
-		out.Execs = append(out.Execs, jsonExec{
-			Time: x.Time, Proc: int(x.Proc), Task: int(x.Task), Job: x.Job,
-			InCS: x.InCS, InGCS: x.InGCS,
-		})
+		out.Execs = append(out.Execs, toJSONExec(x))
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
@@ -90,21 +126,15 @@ func ReadJSON(r io.Reader) (*Log, error) {
 		return nil, fmt.Errorf("trace: decode: %w", err)
 	}
 	l := New()
-	for _, e := range in.Events {
-		kind, ok := kindValues[e.Kind]
-		if !ok {
-			return nil, fmt.Errorf("trace: unknown event kind %q", e.Kind)
+	for _, je := range in.Events {
+		e, err := fromJSONEvent(je)
+		if err != nil {
+			return nil, err
 		}
-		l.Add(Event{
-			Time: e.Time, Kind: kind, Task: task.ID(e.Task), Job: e.Job,
-			Proc: task.ProcID(e.Proc), Sem: task.SemID(e.Sem), Prio: e.Prio,
-		})
+		l.Add(e)
 	}
-	for _, x := range in.Execs {
-		l.AddExec(Exec{
-			Time: x.Time, Proc: task.ProcID(x.Proc), Task: task.ID(x.Task),
-			Job: x.Job, InCS: x.InCS, InGCS: x.InGCS,
-		})
+	for _, jx := range in.Execs {
+		l.AddExec(fromJSONExec(jx))
 	}
 	return l, nil
 }

@@ -30,6 +30,7 @@ const (
 	EvInherit                            // effective priority changed
 	EvFinish                             // job completed
 	EvDeadlineMiss                       // job passed its absolute deadline before finishing
+	EvReady                              // job woken: blocked/suspended/spinning -> ready
 )
 
 func (k EventKind) String() string {
@@ -58,6 +59,8 @@ func (k EventKind) String() string {
 		return "finish"
 	case EvDeadlineMiss:
 		return "deadline-miss"
+	case EvReady:
+		return "ready"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -255,7 +258,7 @@ func (l *Log) Summary() string {
 		counts[e.Kind]++
 	}
 	kinds := []EventKind{
-		EvRelease, EvStart, EvPreempt, EvLock, EvBlockLocal, EvSuspendGlobal,
+		EvRelease, EvReady, EvStart, EvPreempt, EvLock, EvBlockLocal, EvSuspendGlobal,
 		EvSpinGlobal, EvUnlock, EvGrant, EvInherit, EvFinish, EvDeadlineMiss,
 	}
 	var b strings.Builder
