@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json repro repro-verify sweep sweep-smoke metrics-demo fuzz vet fmt lint cover clean
+.PHONY: all build test test-short bench bench-json repro repro-verify sweep sweep-smoke metrics-demo check check-smoke fuzz vet fmt lint cover clean
 
 all: build test
 
@@ -37,6 +37,15 @@ metrics-demo:
 	$(GO) run ./cmd/rtsim -config testdata/avionics.json -metrics sim-metrics.json > /dev/null
 	$(GO) run ./cmd/rtmetrics sweep-metrics.json sim-metrics.json
 
+# Conformance campaign: differential + metamorphic oracles over every
+# protocol, with shrinking to replayable repros (docs/conformance.md).
+check:
+	$(GO) run ./cmd/rtcheck -trials 200 -seed 1
+
+# Small-budget conformance gate under the race detector (CI runs this).
+check-smoke:
+	$(GO) run -race ./cmd/rtcheck -trials 20 -seed 1 -repro-dir /tmp/rtcheck-repros
+
 # Print every reproduced artifact (E1-E19).
 repro:
 	$(GO) run ./cmd/rtexp
@@ -48,6 +57,9 @@ repro-verify:
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/config
 	$(GO) test -fuzz FuzzValidateBody -fuzztime 30s ./internal/task
+	$(GO) test -fuzz FuzzReadStream -fuzztime 30s ./internal/trace
+	$(GO) test -fuzz FuzzConformanceRepro -fuzztime 30s ./internal/conformance
+	$(GO) test -fuzz FuzzConformanceWorkload -fuzztime 30s ./internal/conformance
 
 vet:
 	$(GO) vet ./...

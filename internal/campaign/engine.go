@@ -7,7 +7,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sync"
 	"time"
 
 	"mpcp/internal/obs"
@@ -126,34 +125,9 @@ func Run(spec *Spec, opts Options) (*Campaign, error) {
 		checkpoint = bufio.NewWriter(f)
 	}
 
-	ptCh := make(chan Point)
-	resCh := make(chan *PointResult)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for pt := range ptCh {
-				t0 := time.Now()
-				r := runPoint(spec, pt)
-				opts.Metrics.Histogram("campaign_point_us").Observe(time.Since(t0).Microseconds())
-				resCh <- r
-			}
-		}()
-	}
-	go func() {
-		for _, pt := range todo {
-			ptCh <- pt
-		}
-		close(ptCh)
-	}()
-	go func() {
-		wg.Wait()
-		close(resCh)
-	}()
-
-	// Collect. The collector is the only writer of done/checkpoint, so
-	// no locking is needed; workers only compute.
+	// Fan out over the shared worker pool. The collect callback is the
+	// only writer of done/checkpoint and ForEach guarantees it runs on a
+	// single goroutine, so no locking is needed; workers only compute.
 	start := time.Now()
 	prog := Progress{Total: len(points), Skipped: len(done), Done: len(done)}
 	for _, r := range done {
@@ -163,7 +137,12 @@ func Run(spec *Spec, opts Options) (*Campaign, error) {
 	opts.Metrics.Counter("campaign_points_skipped").Add(int64(len(done)))
 	completed := 0
 	var ioErr error
-	for r := range resCh {
+	ForEach(workers, todo, func(_ int, pt Point) *PointResult {
+		t0 := time.Now()
+		r := runPoint(spec, pt)
+		opts.Metrics.Histogram("campaign_point_us").Observe(time.Since(t0).Microseconds())
+		return r
+	}, func(_ int, r *PointResult) {
 		done[r.Key] = r
 		completed++
 		opts.Metrics.Counter("campaign_points_done").Inc()
@@ -189,7 +168,7 @@ func Run(spec *Spec, opts Options) (*Campaign, error) {
 			prog.Last = r
 			opts.Progress(prog)
 		}
-	}
+	})
 	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
 		opts.Metrics.Gauge("campaign_points_per_sec").Set(float64(completed) / elapsed)
 	}

@@ -1,0 +1,59 @@
+package campaign
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach is the campaign worker pool, exported so other drivers (the
+// conformance checker in internal/conformance, via cmd/rtcheck) reuse one
+// battle-tested fan-out instead of hand-rolling goroutine plumbing.
+//
+// It evaluates fn(i, items[i]) for every item on a bounded pool of worker
+// goroutines and delivers each result to collect exactly once. collect is
+// always invoked from a single goroutine (the caller's), so it may touch
+// shared state without locking; results arrive in completion order, not
+// item order — collectors that need item order should index by i. fn must
+// not call collect-side state. ForEach returns only after every item has
+// been collected. workers <= 0 means runtime.NumCPU().
+func ForEach[T, R any](workers int, items []T, fn func(i int, item T) R, collect func(i int, r R)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if len(items) == 0 {
+		return
+	}
+
+	type indexed struct {
+		i int
+		r R
+	}
+	idxCh := make(chan int)
+	resCh := make(chan indexed)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				resCh <- indexed{i: i, r: fn(i, items[i])}
+			}
+		}()
+	}
+	go func() {
+		for i := range items {
+			idxCh <- i
+		}
+		close(idxCh)
+	}()
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+	for r := range resCh {
+		collect(r.i, r.r)
+	}
+}

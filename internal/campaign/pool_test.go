@@ -1,0 +1,65 @@
+package campaign
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryItem(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		items := make([]int, 57)
+		for i := range items {
+			items[i] = i * 10
+		}
+		out := make([]int, len(items))
+		seen := make([]bool, len(items))
+		ForEach(workers, items, func(i, v int) int {
+			return v + 1
+		}, func(i, r int) {
+			if seen[i] {
+				t.Fatalf("workers=%d: item %d collected twice", workers, i)
+			}
+			seen[i] = true
+			out[i] = r
+		})
+		for i := range items {
+			if !seen[i] {
+				t.Fatalf("workers=%d: item %d never collected", workers, i)
+			}
+			if out[i] != items[i]+1 {
+				t.Fatalf("workers=%d: item %d = %d, want %d", workers, i, out[i], items[i]+1)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(4, nil, func(i int, v struct{}) int { called = true; return 0 },
+		func(i, r int) { called = true })
+	if called {
+		t.Fatal("callbacks invoked for empty item list")
+	}
+}
+
+// TestForEachSingleCollector: collect must never run concurrently with
+// itself, even with many workers — the -race build enforces this via the
+// unsynchronized counter.
+func TestForEachSingleCollector(t *testing.T) {
+	items := make([]int, 200)
+	var inFlight, workCalls int32
+	unsynchronized := 0
+	ForEach(8, items, func(i, v int) int {
+		atomic.AddInt32(&workCalls, 1)
+		return i
+	}, func(i, r int) {
+		if n := atomic.AddInt32(&inFlight, 1); n != 1 {
+			t.Errorf("collector concurrency %d", n)
+		}
+		unsynchronized++
+		atomic.AddInt32(&inFlight, -1)
+	})
+	if unsynchronized != len(items) || int(workCalls) != len(items) {
+		t.Fatalf("collected %d, worked %d, want %d", unsynchronized, workCalls, len(items))
+	}
+}

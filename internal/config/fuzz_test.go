@@ -39,5 +39,30 @@ func FuzzParse(f *testing.F) {
 				t.Fatalf("negative WCET on task %d", tk.ID)
 			}
 		}
+		// Round trip: every accepted system must survive FromSystem ->
+		// Build and come back structurally identical. FromSystem does not
+		// record the nesting waiver, so grant it unconditionally — it only
+		// relaxes validation.
+		f2 := config.FromSystem(sys)
+		f2.AllowNestedGlobal = true
+		sys2, err := f2.Build()
+		if err != nil {
+			t.Fatalf("accepted system does not round-trip: %v", err)
+		}
+		if sys2.NumProcs != sys.NumProcs || len(sys2.Tasks) != len(sys.Tasks) || len(sys2.Sems) != len(sys.Sems) {
+			t.Fatalf("round trip changed shape: %d/%d/%d -> %d/%d/%d",
+				sys.NumProcs, len(sys.Tasks), len(sys.Sems),
+				sys2.NumProcs, len(sys2.Tasks), len(sys2.Sems))
+		}
+		for _, tk := range sys.Tasks {
+			tk2 := sys2.TaskByID(tk.ID)
+			if tk2 == nil {
+				t.Fatalf("round trip lost task %d", tk.ID)
+			}
+			if tk2.WCET() != tk.WCET() || tk2.Period != tk.Period || tk2.Priority != tk.Priority {
+				t.Fatalf("round trip changed task %d: WCET %d->%d period %d->%d prio %d->%d",
+					tk.ID, tk.WCET(), tk2.WCET(), tk.Period, tk2.Period, tk.Priority, tk2.Priority)
+			}
+		}
 	})
 }

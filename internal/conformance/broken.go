@@ -1,0 +1,34 @@
+package conformance
+
+import (
+	"mpcp/internal/sim"
+	"mpcp/internal/task"
+)
+
+// brokenProtocol is a deliberately faulty protocol used only to validate
+// the harness: TryLock grants every request immediately, even when the
+// semaphore is held, so concurrent critical sections violate mutual
+// exclusion and the "invariants" oracle must flag the trace. It exists so
+// tests (and `rtcheck -protocols broken`) can demonstrate that a failing
+// protocol produces a shrunk, replayable repro.
+type brokenProtocol struct{}
+
+var _ sim.Protocol = brokenProtocol{}
+
+func (brokenProtocol) Name() string { return "broken" }
+
+func (brokenProtocol) Init(*sim.Engine) error { return nil }
+
+func (brokenProtocol) OnRelease(e *sim.Engine, j *sim.Job) {
+	e.SetEffPrio(j, j.BasePrio)
+	e.MakeReady(j)
+}
+
+func (brokenProtocol) TryLock(e *sim.Engine, j *sim.Job, s task.SemID) bool {
+	e.CompleteLock(j, s) // the bug: no holder check, no queueing
+	return true
+}
+
+func (brokenProtocol) Unlock(*sim.Engine, *sim.Job, task.SemID) {}
+
+func (brokenProtocol) OnFinish(*sim.Engine, *sim.Job) {}

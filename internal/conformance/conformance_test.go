@@ -1,0 +1,198 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+
+	"mpcp/internal/workload"
+)
+
+// nonBrokenProtocols returns every known protocol except the deliberately
+// faulty one.
+func nonBrokenProtocols() []string {
+	var out []string
+	for _, p := range KnownProtocols {
+		if p != "broken" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TestConformanceAllProtocols runs the full oracle catalog over randomized
+// workloads for every real protocol. This subsumes the historical per-
+// property sim tests (determinism, mutual exclusion, job accounting,
+// gcs non-preemption, deadlock freedom) and adds the differential and
+// metamorphic oracles on top.
+func TestConformanceAllProtocols(t *testing.T) {
+	trials := 8
+	if testing.Short() {
+		trials = 3
+	}
+	rep, err := Run(Options{
+		Protocols: nonBrokenProtocols(),
+		Trials:    trials,
+		BaseSeed:  1,
+		Shrink:    true,
+		ReproDir:  t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		for _, v := range r.Violations {
+			t.Errorf("%s trial %d seed %d: %s", r.Protocol, r.Trial, r.Seed, v)
+		}
+		if len(r.Violations) > 0 && r.ReproPath != "" {
+			t.Logf("repro: %s", r.ReproPath)
+		}
+	}
+}
+
+// TestConformanceSoak is the migrated sim soak test: larger, busier
+// workloads (8 processors, 6 tasks each, 60% utilization, contended
+// semaphores, staggered offsets, with and without a hotspot semaphore)
+// under every ceiling-based protocol, checked against the full catalog.
+func TestConformanceSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in short mode")
+	}
+	for _, hotspot := range []bool{false, true} {
+		cfg := workload.Default(0)
+		cfg.NumProcs = 8
+		cfg.TasksPerProc = 6
+		cfg.UtilPerProc = 0.6
+		cfg.GlobalSems = 5
+		cfg.Hotspot = hotspot
+		cfg.Stagger = true
+		rep, err := Run(Options{
+			Protocols: []string{"mpcp", "mpcp-spin", "dpcp", "hybrid"},
+			Trials:    2,
+			BaseSeed:  1,
+			Workload:  &cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rep.Results {
+			for _, v := range r.Violations {
+				t.Errorf("hotspot=%v %s trial %d seed %d: %s", hotspot, r.Protocol, r.Trial, r.Seed, v)
+			}
+		}
+	}
+}
+
+// TestSpinSuspendParity is the migrated spin-ablation property: at 45%
+// utilization the spin variant must not livelock and must complete
+// exactly the jobs the suspension variant completes.
+func TestSpinSuspendParity(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := workload.Default(seed)
+		cfg.NumProcs = 3
+		cfg.TasksPerProc = 3
+		cfg.UtilPerProc = 0.45
+		sys, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		susp := simulate("mpcp", sys, 0)
+		spin := simulate("mpcp-spin", sys, 0)
+		if susp.err != nil || spin.err != nil {
+			t.Fatalf("seed %d: suspend err %v, spin err %v", seed, susp.err, spin.err)
+		}
+		for id := range susp.res.Stats {
+			if susp.res.Stats[id].Finished != spin.res.Stats[id].Finished {
+				t.Errorf("seed %d task %d: finished %d (suspend) vs %d (spin)",
+					seed, id, susp.res.Stats[id].Finished, spin.res.Stats[id].Finished)
+			}
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers: the report must not depend on the
+// worker count, only on the options.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	opts := Options{Protocols: []string{"mpcp", "none"}, Trials: 3, BaseSeed: 7}
+	opts.Workers = 1
+	r1, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 8
+	r8, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Fatal("reports differ between -workers 1 and -workers 8")
+	}
+}
+
+// TestTrialSeed: per-trial seeds are positive, deterministic and distinct
+// across protocols and trial indices.
+func TestTrialSeed(t *testing.T) {
+	seen := make(map[int64]string)
+	for _, p := range KnownProtocols {
+		for trial := 0; trial < 50; trial++ {
+			s := TrialSeed(1, p, trial)
+			if s <= 0 {
+				t.Fatalf("TrialSeed(1, %q, %d) = %d, want positive", p, trial, s)
+			}
+			if s != TrialSeed(1, p, trial) {
+				t.Fatalf("TrialSeed(1, %q, %d) not deterministic", p, trial)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %d for %s/%d and %s", s, p, trial, prev)
+			}
+			seen[s] = p
+		}
+	}
+}
+
+// TestBrokenProtocolCaught: the harness must detect the deliberately
+// faulty protocol and attach a shrunk repro.
+func TestBrokenProtocolCaught(t *testing.T) {
+	rep, err := Run(Options{Protocols: []string{"broken"}, Trials: 5, BaseSeed: 1, Shrink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures() == 0 {
+		t.Fatal("broken protocol passed every trial; harness is not detecting violations")
+	}
+	for _, r := range rep.Results {
+		if len(r.Violations) == 0 {
+			continue
+		}
+		if r.Violations[0].Oracle != "invariants" {
+			t.Errorf("trial %d: first violation oracle %q, want invariants", r.Trial, r.Violations[0].Oracle)
+		}
+		if r.Repro == nil {
+			t.Errorf("trial %d: failing trial has no repro", r.Trial)
+		}
+	}
+}
+
+// TestRunRejectsUnknownProtocol: option validation happens before any
+// work starts.
+func TestRunRejectsUnknownProtocol(t *testing.T) {
+	if _, err := Run(Options{Protocols: []string{"nonesuch"}}); err == nil {
+		t.Fatal("Run accepted an unknown protocol name")
+	}
+}
+
+// TestOracleNamesResolvable: every catalog name resolves back through
+// oracleByName (guards the docs and the shrinker's name-based lookup).
+func TestOracleNamesResolvable(t *testing.T) {
+	names := OracleNames()
+	if len(names) == 0 {
+		t.Fatal("empty oracle catalog")
+	}
+	for _, n := range names {
+		if oracleByName(n) == nil {
+			t.Errorf("oracle %q not resolvable by name", n)
+		}
+	}
+	if oracleByName("nonesuch") != nil {
+		t.Error("oracleByName resolved a nonexistent oracle")
+	}
+}

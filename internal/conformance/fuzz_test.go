@@ -1,0 +1,103 @@
+package conformance
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpcp/internal/workload"
+)
+
+// FuzzConformanceRepro feeds arbitrary bytes through the repro pipeline:
+// decoding must never panic, anything accepted must build a valid system,
+// and the canonical encoding must be a fixed point (decode -> encode ->
+// decode -> encode yields identical bytes). Accepted repros are replayed
+// under a clamped budget so the fuzzer cannot construct pathological
+// horizons. Seeds come from the checked-in repro corpus.
+func FuzzConformanceRepro(f *testing.F) {
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "testdata", "conformance", "*.json"))
+	for _, p := range paths {
+		if data, err := os.ReadFile(p); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"format":"mpcp-conformance-repro","version":1,"protocol":"mpcp","oracle":"invariants","horizon":50,"message":"m","system":{"procs":1,"semaphores":[{"id":1}],"tasks":[{"id":1,"proc":0,"period":20,"priority":1,"body":[{"lock":1},{"compute":2},{"unlock":1}]}]}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRepro(data)
+		if err != nil {
+			return
+		}
+		e1, err := r.Encode()
+		if err != nil {
+			t.Fatalf("accepted repro fails to encode: %v", err)
+		}
+		r2, err := DecodeRepro(e1)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected by decoder: %v", err)
+		}
+		e2, err := r2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(e1, e2) {
+			t.Fatal("repro encoding is not a fixed point")
+		}
+
+		sys, err := r.System.Build()
+		if err != nil {
+			return // decodable but invalid systems are out of scope
+		}
+		// Clamp the replay budget: the fuzzer controls task count, procs
+		// and horizon, and unconstrained values make trials arbitrarily
+		// slow without exercising anything new.
+		if len(sys.Tasks) > 16 || sys.NumProcs > 8 {
+			return
+		}
+		h := r.Horizon
+		if h <= 0 || h > 20000 {
+			h = 2000
+		}
+		// Replaying must never panic, whatever the violations are.
+		if oracleByName(r.Oracle) != nil {
+			CheckOracle(r.Protocol, sys, h, r.Oracle)
+		} else {
+			CheckSystem(r.Protocol, sys, h)
+		}
+	})
+}
+
+// FuzzConformanceWorkload drives the full oracle catalog over fuzzer-
+// chosen seeds, protocols and workload variants. Any violation is a real
+// finding: the generated workloads are always valid, so a failure means a
+// protocol, the simulator or the analysis broke one of the cross-checked
+// properties.
+func FuzzConformanceWorkload(f *testing.F) {
+	f.Add(int64(1), byte(0), false)
+	f.Add(int64(42), byte(4), true)
+	f.Add(int64(7), byte(6), false)
+	f.Add(int64(999), byte(10), true)
+
+	f.Fuzz(func(t *testing.T, seed int64, protoIdx byte, hotspot bool) {
+		protos := nonBrokenProtocols()
+		protocol := protos[int(protoIdx)%len(protos)]
+		if seed < 0 {
+			seed = -seed
+		}
+		if seed <= 0 {
+			seed = 1
+		}
+		cfg := BaseWorkload(protocol, seed)
+		cfg.Hotspot = hotspot
+		sys, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatalf("base workload must always generate: %v", err)
+		}
+		for _, v := range CheckSystem(protocol, sys, 0) {
+			t.Errorf("%s seed %d hotspot=%v: %s", protocol, seed, hotspot, v)
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpcp/internal/config"
+	"mpcp/internal/task"
+)
+
+// Repro format identity. Bump ReproVersion on incompatible changes.
+const (
+	ReproFormat  = "mpcp-conformance-repro"
+	ReproVersion = 1
+)
+
+// Repro is a replayable counterexample: the protocol, the oracle it
+// violates, the (shrunk) system in the cmd/rtsim config format, and the
+// horizon to run. Encoding is struct-driven (fixed field order, slices
+// only, no maps), so the bytes are stable: shrinking the same failure
+// twice produces byte-identical, diffable files.
+type Repro struct {
+	Format   string       `json:"format"`
+	Version  int          `json:"version"`
+	Protocol string       `json:"protocol"`
+	Oracle   string       `json:"oracle"`
+	Seed     int64        `json:"seed,omitempty"`
+	Horizon  int          `json:"horizon"`
+	Message  string       `json:"message"`
+	System   *config.File `json:"system"`
+}
+
+// NewRepro captures a counterexample. The seed records which generated
+// workload originally failed (informational; the system itself is what
+// replays).
+func NewRepro(protocol, oracle string, seed int64, horizon int, message string, sys *task.System) *Repro {
+	return &Repro{
+		Format:   ReproFormat,
+		Version:  ReproVersion,
+		Protocol: protocol,
+		Oracle:   oracle,
+		Seed:     seed,
+		Horizon:  horizon,
+		Message:  message,
+		System:   config.FromSystem(sys),
+	}
+}
+
+// Encode renders the repro as stable, indented JSON with a trailing
+// newline.
+func (r *Repro) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("conformance: encode repro: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeRepro parses and sanity-checks repro bytes.
+func DecodeRepro(data []byte) (*Repro, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Repro
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("conformance: decode repro: %w", err)
+	}
+	if r.Format != ReproFormat || r.Version != ReproVersion {
+		return nil, fmt.Errorf("conformance: unsupported repro format %s/%d", r.Format, r.Version)
+	}
+	if r.System == nil {
+		return nil, fmt.Errorf("conformance: repro has no system")
+	}
+	if !knownProtocol(r.Protocol) {
+		return nil, fmt.Errorf("conformance: repro names unknown protocol %q", r.Protocol)
+	}
+	return &r, nil
+}
+
+// LoadRepro reads a repro file.
+func LoadRepro(path string) (*Repro, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: %w", err)
+	}
+	return DecodeRepro(data)
+}
+
+// Replay rebuilds the system and re-runs the repro's oracle (or the full
+// applicable catalog when the oracle name is empty or unknown). A
+// reproducing repro returns the violations; a stale one returns none.
+func (r *Repro) Replay() ([]Violation, error) {
+	sys, err := r.System.Build()
+	if err != nil {
+		return nil, fmt.Errorf("conformance: repro system: %w", err)
+	}
+	if oracleByName(r.Oracle) == nil {
+		return CheckSystem(r.Protocol, sys, r.Horizon), nil
+	}
+	return CheckOracle(r.Protocol, sys, r.Horizon, r.Oracle), nil
+}
+
+// Filename derives the repro's canonical file name from its content:
+// protocol, oracle and a 64-bit content hash, so identical failures map
+// to identical paths and distinct ones never collide in practice.
+func (r *Repro) Filename() (string, error) {
+	data, err := r.Encode()
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(data)
+	return fmt.Sprintf("%s-%s-%016x.json", slug(r.Protocol), slug(r.Oracle), h.Sum64()), nil
+}
+
+func slug(s string) string {
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-':
+			return c
+		case c >= 'A' && c <= 'Z':
+			return c + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+// WriteRepro persists the repro under dir using its canonical name and
+// returns the path. Writing the same repro twice is idempotent.
+func WriteRepro(dir string, r *Repro) (string, error) {
+	data, err := r.Encode()
+	if err != nil {
+		return "", err
+	}
+	name, err := r.Filename()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("conformance: %w", err)
+	}
+	path := filepath.Join(dir, name)
+	if prev, err := os.ReadFile(path); err == nil && bytes.Equal(prev, data) {
+		return path, nil
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("conformance: %w", err)
+	}
+	return path, nil
+}

@@ -1,0 +1,193 @@
+package conformance
+
+import (
+	"mpcp/internal/task"
+)
+
+// Shrink greedily minimizes a failing (protocol, system, horizon, oracle)
+// quadruple: it repeatedly tries to drop whole tasks, then individual
+// critical sections, accepting a candidate only when the SAME oracle
+// still fails on it; afterwards it halves the horizon while the failure
+// persists and compacts the system (unused semaphores dropped, processors
+// renumbered densely). The result is a small counterexample plus the
+// violations it still produces. Shrinking is deterministic: candidates
+// are tried in task/section order, so repeated shrinks of the same
+// failure yield byte-identical repros.
+//
+// When the failure does not reproduce (e.g. an unknown oracle name), the
+// original system and horizon are returned with nil violations.
+func Shrink(protocol string, sys *task.System, horizon int, oracleName string) (*task.System, int, []Violation) {
+	// Resolve the default horizon up front so halving has a number to
+	// work on. An explicit horizon equal to the default is behaviorally
+	// identical to passing zero.
+	h := horizon
+	if h <= 0 {
+		h = sys.MaxOffset() + sys.Hyperperiod()
+	}
+	fails := func(s *task.System, hh int) []Violation {
+		return CheckOracle(protocol, s, hh, oracleName)
+	}
+	curV := fails(sys, h)
+	if len(curV) == 0 {
+		return sys, horizon, nil
+	}
+	cur := sys
+
+	for {
+		next, v := shrinkStep(cur, h, fails)
+		if next == nil {
+			break
+		}
+		cur, curV = next, v
+	}
+
+	for h > 1 {
+		half := h / 2
+		v := fails(cur, half)
+		if len(v) == 0 {
+			break
+		}
+		h, curV = half, v
+	}
+
+	if cand, err := compact(cur); err == nil {
+		if v := fails(cand, h); len(v) > 0 {
+			cur, curV = cand, v
+		}
+	}
+	return cur, h, curV
+}
+
+// shrinkStep returns the first smaller system that still fails, or nil
+// when no single task or critical-section removal preserves the failure.
+func shrinkStep(sys *task.System, h int, fails func(*task.System, int) []Violation) (*task.System, []Violation) {
+	if len(sys.Tasks) > 1 {
+		for _, t := range sys.Tasks {
+			cand, err := withoutTask(sys, t.ID)
+			if err != nil {
+				continue
+			}
+			if v := fails(cand, h); len(v) > 0 {
+				return cand, v
+			}
+		}
+	}
+	for _, t := range sys.Tasks {
+		for i := range sys.CriticalSections(t.ID) {
+			cand, err := withoutCS(sys, t.ID, i)
+			if err != nil {
+				continue
+			}
+			if v := fails(cand, h); len(v) > 0 {
+				return cand, v
+			}
+		}
+	}
+	return nil, nil
+}
+
+// rebuild copies sys with per-task hooks: drop skips a task entirely,
+// editBody rewrites a body, mapProc relabels processors. The copy is
+// validated before being returned.
+func rebuild(sys *task.System, numProcs int, drop map[task.ID]bool,
+	editBody func(*task.Task) []task.Segment,
+	mapProc func(task.ProcID) task.ProcID,
+	keepSem func(task.SemID) bool) (*task.System, error) {
+
+	out := task.NewSystem(numProcs)
+	for _, sem := range sys.Sems {
+		if keepSem != nil && !keepSem(sem.ID) {
+			continue
+		}
+		out.AddSem(&task.Semaphore{ID: sem.ID, Name: sem.Name})
+	}
+	for _, t := range sys.Tasks {
+		if drop[t.ID] {
+			continue
+		}
+		var body []task.Segment
+		if editBody != nil {
+			body = editBody(t)
+		} else {
+			body = make([]task.Segment, len(t.Body))
+			copy(body, t.Body)
+		}
+		proc := t.Proc
+		if mapProc != nil {
+			proc = mapProc(t.Proc)
+		}
+		out.AddTask(&task.Task{
+			ID: t.ID, Name: t.Name, Proc: proc,
+			Period: t.Period, Deadline: t.Deadline, Offset: t.Offset,
+			Priority: t.Priority, Body: body,
+		})
+	}
+	if err := out.Validate(task.ValidateOptions{}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func withoutTask(sys *task.System, id task.ID) (*task.System, error) {
+	return rebuild(sys, sys.NumProcs, map[task.ID]bool{id: true}, nil, nil, nil)
+}
+
+// withoutCS removes the csIdx-th critical section of one task: the lock
+// and unlock segments disappear, the computation inside stays, so the
+// task's timing footprint shrinks as little as possible.
+func withoutCS(sys *task.System, id task.ID, csIdx int) (*task.System, error) {
+	sections := sys.CriticalSections(id)
+	if csIdx < 0 || csIdx >= len(sections) {
+		return nil, errNoSuchSection
+	}
+	cs := sections[csIdx]
+	edit := func(t *task.Task) []task.Segment {
+		body := make([]task.Segment, len(t.Body))
+		copy(body, t.Body)
+		if t.ID != id {
+			return body
+		}
+		out := body[:0]
+		for i, seg := range body {
+			if i == cs.StartSeg || i == cs.EndSeg {
+				continue
+			}
+			out = append(out, seg)
+		}
+		return out
+	}
+	return rebuild(sys, sys.NumProcs, nil, edit, nil, nil)
+}
+
+// compact drops semaphores no body references and renumbers processors
+// densely (empty processors removed), producing the canonical small form
+// of a shrunk counterexample.
+func compact(sys *task.System) (*task.System, error) {
+	used := make(map[task.SemID]bool)
+	procUsed := make(map[task.ProcID]bool)
+	for _, t := range sys.Tasks {
+		procUsed[t.Proc] = true
+		for _, seg := range t.Body {
+			if seg.Kind == task.SegLock || seg.Kind == task.SegUnlock {
+				used[seg.Sem] = true
+			}
+		}
+	}
+	procMap := make(map[task.ProcID]task.ProcID, len(procUsed))
+	next := task.ProcID(0)
+	for p := task.ProcID(0); int(p) < sys.NumProcs; p++ {
+		if procUsed[p] {
+			procMap[p] = next
+			next++
+		}
+	}
+	return rebuild(sys, int(next), nil, nil,
+		func(p task.ProcID) task.ProcID { return procMap[p] },
+		func(s task.SemID) bool { return used[s] })
+}
+
+var errNoSuchSection = errNoSection{}
+
+type errNoSection struct{}
+
+func (errNoSection) Error() string { return "conformance: no such critical section" }

@@ -1,0 +1,216 @@
+package conformance
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpcp/internal/workload"
+)
+
+// brokenFailure generates a workload on which the broken protocol
+// demonstrably violates mutual exclusion. Trial 8 of base seed 1 is
+// pinned because it shrinks to a 3-task counterexample.
+func brokenFailure(t *testing.T) (int64, *workload.Config) {
+	t.Helper()
+	seed := TrialSeed(1, "broken", 8)
+	cfg := BaseWorkload("broken", seed)
+	return seed, &cfg
+}
+
+// TestShrinkBrokenToMinimal: a mutual-exclusion failure of the broken
+// protocol must shrink to a counterexample of at most 3 tasks that still
+// fails the same oracle.
+func TestShrinkBrokenToMinimal(t *testing.T) {
+	seed, cfg := brokenFailure(t)
+	sys, err := workload.Generate(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := CheckOracle("broken", sys, 0, "invariants")
+	if len(before) == 0 {
+		t.Fatalf("seed %d: broken protocol did not violate invariants; pick another pinned trial", seed)
+	}
+	small, h, after := Shrink("broken", sys, 0, "invariants")
+	if len(after) == 0 {
+		t.Fatal("shrunk system no longer fails")
+	}
+	if got := len(small.Tasks); got > 3 {
+		t.Errorf("shrunk to %d tasks, want <= 3", got)
+	}
+	if h <= 0 || h > sys.MaxOffset()+sys.Hyperperiod() {
+		t.Errorf("shrunk horizon %d out of range", h)
+	}
+	// The shrunk system must replay to the same oracle violation through
+	// the repro round trip.
+	r := NewRepro("broken", "invariants", seed, h, after[0].Message, small)
+	vs, err := r.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("repro of shrunk system did not reproduce")
+	}
+	for _, v := range vs {
+		if v.Oracle != "invariants" {
+			t.Errorf("replay produced oracle %q, want invariants", v.Oracle)
+		}
+	}
+}
+
+// TestShrinkStableBytes: shrinking the same failure twice must produce
+// byte-identical repro encodings (acceptance criterion: stable shrunk
+// repros).
+func TestShrinkStableBytes(t *testing.T) {
+	seed, cfg := brokenFailure(t)
+	encode := func() []byte {
+		sys, err := workload.Generate(*cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, h, vs := Shrink("broken", sys, 0, "invariants")
+		if len(vs) == 0 {
+			t.Fatal("shrink lost the failure")
+		}
+		data, err := NewRepro("broken", "invariants", seed, h, vs[0].Message, small).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if !bytes.Equal(encode(), encode()) {
+		t.Fatal("repeated shrinks of the same failure encode differently")
+	}
+}
+
+// TestShrinkPassingSystem: when the named oracle does not fail, Shrink
+// returns the input untouched with nil violations.
+func TestShrinkPassingSystem(t *testing.T) {
+	sys, err := workload.Generate(BaseWorkload("mpcp", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, h, vs := Shrink("mpcp", sys, 0, "invariants")
+	if vs != nil {
+		t.Fatalf("unexpected violations on a passing system: %v", vs)
+	}
+	if out != sys || h != 0 {
+		t.Error("passing system was not returned unchanged")
+	}
+}
+
+// TestReproRoundTrip: Encode -> Decode -> Encode is the identity on
+// bytes, and decoding validates format, version and protocol name.
+func TestReproRoundTrip(t *testing.T) {
+	seed, cfg := brokenFailure(t)
+	sys, err := workload.Generate(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, h, vs := Shrink("broken", sys, 0, "invariants")
+	if len(vs) == 0 {
+		t.Fatal("shrink lost the failure")
+	}
+	r := NewRepro("broken", "invariants", seed, h, vs[0].Message, small)
+	data, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := DecodeRepro(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := r2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("repro encoding is not a fixed point of decode/encode")
+	}
+
+	for _, bad := range []string{
+		`{}`,
+		`{"format":"mpcp-conformance-repro","version":99,"protocol":"mpcp","system":{"procs":1}}`,
+		`{"format":"mpcp-conformance-repro","version":1,"protocol":"nonesuch","system":{"procs":1}}`,
+		`{"format":"mpcp-conformance-repro","version":1,"protocol":"mpcp"}`,
+		`{"format":"mpcp-conformance-repro","version":1,"protocol":"mpcp","bogus":1,"system":{"procs":1}}`,
+	} {
+		if _, err := DecodeRepro([]byte(bad)); err == nil {
+			t.Errorf("DecodeRepro accepted invalid input %s", bad)
+		}
+	}
+}
+
+// TestWriteReproIdempotent: writing the same repro twice hits the same
+// content-addressed path and leaves the bytes unchanged.
+func TestWriteReproIdempotent(t *testing.T) {
+	seed, cfg := brokenFailure(t)
+	sys, err := workload.Generate(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, h, vs := Shrink("broken", sys, 0, "invariants")
+	if len(vs) == 0 {
+		t.Fatal("shrink lost the failure")
+	}
+	r := NewRepro("broken", "invariants", seed, h, vs[0].Message, small)
+	dir := t.TempDir()
+	p1, err := WriteRepro(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := WriteRepro(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("paths differ: %s vs %s", p1, p2)
+	}
+	second, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("second write changed the repro bytes")
+	}
+	want, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Fatal("file bytes differ from Encode output")
+	}
+}
+
+// TestCorpusReplays: every checked-in repro under testdata/conformance
+// must still load and reproduce its violation, so the corpus cannot rot
+// silently.
+func TestCorpusReplays(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "conformance", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Skip("no checked-in repro corpus")
+	}
+	for _, p := range paths {
+		r, err := LoadRepro(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		vs, err := r.Replay()
+		if err != nil {
+			t.Errorf("%s: replay: %v", p, err)
+			continue
+		}
+		if len(vs) == 0 {
+			t.Errorf("%s: stale repro, no longer reproduces", p)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package shmem
+
+import "mpcp/internal/pqueue"
+
+// Waiter is one task suspended on a global semaphore's queue, identified
+// by ID with the priority it had when it enqueued.
+type Waiter struct {
+	ID       int
+	Priority int
+}
+
+// SignalOrder returns the IDs of ws in the order the semaphore's V
+// operation would signal them. With fifo=false the queue is the
+// priority-ordered linked list of Section 5.4 ("jobs suspended on a
+// semaphore are signaled in priority order", ties FCFS); with fifo=true
+// it degenerates to plain arrival order, the ablation the FIFO-queue
+// protocol variant uses. The slice ws is the arrival order.
+func SignalOrder(ws []Waiter, fifo bool) []int {
+	var q pqueue.Queue[int]
+	for _, w := range ws {
+		prio := w.Priority
+		if fifo {
+			// A constant key makes the FCFS tie-break the only ordering.
+			prio = 0
+		}
+		q.Push(w.ID, prio)
+	}
+	out := make([]int, 0, len(ws))
+	for {
+		id, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, id)
+	}
+}

@@ -1,0 +1,110 @@
+package shmem_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mpcp/internal/shmem"
+)
+
+// TestSignalOrder pins the wakeup order of the semaphore queue for both
+// disciplines: priority order with FCFS tie-breaking (Section 5, rule 7)
+// and the FIFO ablation.
+func TestSignalOrder(t *testing.T) {
+	w := func(id, prio int) shmem.Waiter { return shmem.Waiter{ID: id, Priority: prio} }
+	cases := []struct {
+		name    string
+		waiters []shmem.Waiter
+		fifo    bool
+		want    []int
+	}{
+		{name: "empty-priority", waiters: nil, fifo: false, want: []int{}},
+		{name: "empty-fifo", waiters: nil, fifo: true, want: []int{}},
+		{name: "single-priority", waiters: []shmem.Waiter{w(7, 3)}, fifo: false, want: []int{7}},
+		{name: "single-fifo", waiters: []shmem.Waiter{w(7, 3)}, fifo: true, want: []int{7}},
+		{
+			name:    "priority-orders-by-priority",
+			waiters: []shmem.Waiter{w(1, 2), w(2, 9), w(3, 5)},
+			fifo:    false,
+			want:    []int{2, 3, 1},
+		},
+		{
+			name:    "fifo-ignores-priority",
+			waiters: []shmem.Waiter{w(1, 2), w(2, 9), w(3, 5)},
+			fifo:    true,
+			want:    []int{1, 2, 3},
+		},
+		{
+			name:    "ties-break-fcfs",
+			waiters: []shmem.Waiter{w(1, 5), w(2, 5), w(3, 5)},
+			fifo:    false,
+			want:    []int{1, 2, 3},
+		},
+		{
+			name:    "tie-among-highest-only",
+			waiters: []shmem.Waiter{w(1, 1), w(2, 8), w(3, 8), w(4, 2)},
+			fifo:    false,
+			want:    []int{2, 3, 4, 1},
+		},
+		{
+			name:    "negative-and-zero-priorities",
+			waiters: []shmem.Waiter{w(1, -3), w(2, 0), w(3, -3)},
+			fifo:    false,
+			want:    []int{2, 1, 3},
+		},
+		{
+			name:    "fifo-stable-under-equal-keys",
+			waiters: []shmem.Waiter{w(9, 0), w(8, 0), w(7, 0), w(6, 0)},
+			fifo:    true,
+			want:    []int{9, 8, 7, 6},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := shmem.SignalOrder(tc.waiters, tc.fifo)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("SignalOrder(%v, fifo=%v) = %v, want %v", tc.waiters, tc.fifo, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSignalOrderDoesNotMutateInput: callers pass the live arrival list.
+func TestSignalOrderDoesNotMutateInput(t *testing.T) {
+	in := []shmem.Waiter{{ID: 1, Priority: 4}, {ID: 2, Priority: 6}}
+	orig := append([]shmem.Waiter(nil), in...)
+	shmem.SignalOrder(in, false)
+	shmem.SignalOrder(in, true)
+	if !reflect.DeepEqual(in, orig) {
+		t.Error("SignalOrder mutated its input slice")
+	}
+}
+
+// TestQueueOpModelEdgeCases: the cost model's boundary shapes — no
+// waiters at all and a single waiter with the minimal and maximal
+// insertion walk.
+func TestQueueOpModelEdgeCases(t *testing.T) {
+	cases := []struct {
+		name             string
+		waiters, touched int
+	}{
+		{name: "empty-queue", waiters: 0, touched: 0},
+		{name: "empty-queue-head-insert", waiters: 0, touched: 1},
+		{name: "single-waiter-head", waiters: 1, touched: 1},
+		{name: "single-waiter-tail", waiters: 1, touched: 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := shmem.QueueOpModel(tc.waiters, tc.touched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Acquire != 1 {
+				t.Errorf("uncontended acquire = %d, want 1", c.Acquire)
+			}
+			if c.Enqueue < c.Acquire || c.Release < c.Acquire {
+				t.Errorf("guarded ops cheaper than a plain acquire: %+v", c)
+			}
+		})
+	}
+}

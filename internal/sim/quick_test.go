@@ -8,7 +8,21 @@ import (
 	"mpcp/internal/sim"
 	"mpcp/internal/task"
 	"mpcp/internal/trace"
+	"mpcp/internal/workload"
 )
+
+func genSys(t *testing.T, seed int64) *task.System {
+	t.Helper()
+	cfg := workload.Default(seed)
+	cfg.NumProcs = 3
+	cfg.TasksPerProc = 3
+	cfg.UtilPerProc = 0.45
+	sys, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return sys
+}
 
 // TestQuickArbitraryBodiesUnderMPCP generates odd-shaped (but valid)
 // bodies directly from random bytes — zero-length computes, adjacent

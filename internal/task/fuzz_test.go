@@ -51,5 +51,15 @@ func FuzzValidateBody(f *testing.F) {
 		if total > sys.TaskByID(1).WCET() {
 			t.Fatalf("outermost CS time %d exceeds WCET %d", total, sys.TaskByID(1).WCET())
 		}
+		// An accepted system must survive Clone + revalidation with the
+		// same derived structure (the shrinker and the renaming oracles
+		// rely on this).
+		clone := sys.Clone(sys.NumProcs)
+		if err := clone.Validate(ValidateOptions{AllowNestedGlobal: true}); err != nil {
+			t.Fatalf("clone of accepted system fails validation: %v", err)
+		}
+		if got, want := len(clone.CriticalSections(1)), len(sys.CriticalSections(1)); got != want {
+			t.Fatalf("clone has %d critical sections, original %d", got, want)
+		}
 	})
 }

@@ -19,6 +19,17 @@ type jobKey struct {
 	job  int
 }
 
+// CheckInvariants runs every invariant that must hold for a trace of any
+// protocol — mutual exclusion and work conservation — and returns the
+// combined violations. Protocols that boost global-critical-section
+// priorities should additionally be checked with CheckGcsPreemption; the
+// conformance harness (internal/conformance) applies that split per
+// protocol.
+func CheckInvariants(l *Log, numProcs int) []Violation {
+	out := CheckMutex(l)
+	return append(out, CheckWorkConservation(l, numProcs)...)
+}
+
 // CheckMutex verifies that no semaphore is ever held by two jobs at once,
 // reconstructing ownership from lock/unlock events. Grant events follow a
 // lock handover and are informational; ownership transfer is encoded as
