@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json repro repro-verify sweep sweep-smoke metrics-demo check check-smoke fuzz vet fmt lint cover clean
+.PHONY: all build test test-short bench bench-json repro repro-verify sweep sweep-smoke metrics-demo check check-smoke fuzz vet rtvet fmt lint cover clean
 
 all: build test
 
@@ -64,9 +64,16 @@ fuzz:
 vet:
 	$(GO) vet ./...
 
-# Lint gate: vet + format check, plus staticcheck when the binary is on
-# PATH (CI installs it; locally it is optional and never downloaded).
-lint: vet
+# Domain analyzers: determinism, lockdiscipline, exhaustiveswitch,
+# floatcompare, jsonstable (docs/static-analysis.md). Needs nothing
+# beyond the Go toolchain — the checker lives in internal/lint.
+rtvet:
+	$(GO) run ./cmd/rtvet ./...
+
+# Lint gate: vet + domain analyzers + format check, plus staticcheck
+# when the binary is on PATH (CI installs it; locally it is optional and
+# never downloaded).
+lint: vet rtvet
 	@unformatted="$$(gofmt -l .)"; \
 	if [ -n "$$unformatted" ]; then echo "gofmt needed:"; echo "$$unformatted"; exit 1; fi
 	@if command -v staticcheck > /dev/null 2>&1; then \

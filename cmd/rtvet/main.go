@@ -1,0 +1,141 @@
+// Command rtvet is the multichecker for the repository's domain
+// analyzers (internal/lint): determinism, lockdiscipline,
+// exhaustiveswitch, floatcompare and jsonstable. It is the compile-time
+// complement to the runtime conformance oracles — where rtcheck catches
+// a contract violation when it happens to manifest in a trace, rtvet
+// rejects the code path that could violate it at all.
+//
+// Usage:
+//
+//	rtvet [packages]             # default ./..., scoped per analyzer
+//	rtvet -list                  # describe the analyzers and scopes
+//	rtvet -only determinism ...  # run a subset, comma-separated
+//	rtvet -unscoped ...          # apply every analyzer to every package
+//	rtvet -json ...              # findings as a JSON array
+//	rtvet -C dir ...             # run in another module directory
+//
+// Findings print as file:line:col: analyzer: message. Exit status is 0
+// when clean, 1 when there are findings, 2 when loading fails.
+// Individual lines are suppressed with `//rtlint:allow <analyzer>
+// <justification>` on the finding's line or the line above
+// (docs/static-analysis.md).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpcp/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("rtvet", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		list     = fs.Bool("list", false, "list analyzers and their scopes, then exit")
+		only     = fs.String("only", "", "comma-separated analyzer names to run (default all)")
+		unscoped = fs.Bool("unscoped", false, "ignore per-analyzer package scopes and check everything")
+		asJSON   = fs.Bool("json", false, "print findings as a JSON array")
+		chdir    = fs.String("C", ".", "module directory to run in")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := lint.DefaultSuite()
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []lint.Scoped
+		for _, sc := range suite {
+			if keep[sc.Analyzer.Name] {
+				filtered = append(filtered, sc)
+				delete(keep, sc.Analyzer.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(errOut, "rtvet: unknown analyzer %q\n", name)
+			return 2
+		}
+		suite = filtered
+	}
+	if *unscoped {
+		for i := range suite {
+			suite[i].Prefixes = nil
+		}
+	}
+
+	if *list {
+		for _, sc := range suite {
+			scope := "all packages"
+			if len(sc.Prefixes) > 0 {
+				scope = strings.Join(sc.Prefixes, ", ")
+			}
+			fmt.Fprintf(out, "%-17s %s\n%17s   scope: %s\n", sc.Analyzer.Name, sc.Analyzer.Doc, "", scope)
+		}
+		return 0
+	}
+
+	dir, err := lint.ModuleRoot(*chdir)
+	if err != nil {
+		fmt.Fprintln(errOut, "rtvet:", err)
+		return 2
+	}
+	diags, err := lint.RunSuite(dir, suite, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(errOut, "rtvet:", err)
+		return 2
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		fns := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			fns = append(fns, finding{
+				File: relTo(dir, d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		if err := enc.Encode(fns); err != nil {
+			fmt.Fprintln(errOut, "rtvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			d.Pos.Filename = relTo(dir, d.Pos.Filename)
+			fmt.Fprintln(out, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errOut, "rtvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// relTo shortens absolute finding paths to module-relative ones.
+func relTo(dir, path string) string {
+	if rel, err := filepath.Rel(dir, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

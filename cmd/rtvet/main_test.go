@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const fixtureDir = "./internal/lint/testdata/src/floatcompare"
+
+func TestRunCleanRepo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("rtvet ./... = exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run printed findings:\n%s", out.String())
+	}
+}
+
+func TestRunReportsFixtureFindings(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-unscoped", "-only", "floatcompare", fixtureDir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "floatcompare: exact float comparison") {
+		t.Errorf("findings missing analyzer output:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "finding(s)") {
+		t.Errorf("stderr missing summary line:\n%s", errOut.String())
+	}
+}
+
+func TestRunJSONFindings(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", "-unscoped", "-only", "floatcompare", fixtureDir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output has no findings")
+	}
+	for _, f := range findings {
+		if f.Analyzer != "floatcompare" {
+			t.Errorf("finding from %q leaked through -only floatcompare", f.Analyzer)
+		}
+		if f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, errOut.String())
+	}
+	for _, name := range []string{"determinism", "lockdiscipline", "exhaustiveswitch", "floatcompare", "jsonstable"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "nosuchanalyzer"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message:\n%s", errOut.String())
+	}
+}

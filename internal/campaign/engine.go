@@ -128,17 +128,21 @@ func Run(spec *Spec, opts Options) (*Campaign, error) {
 	// Fan out over the shared worker pool. The collect callback is the
 	// only writer of done/checkpoint and ForEach guarantees it runs on a
 	// single goroutine, so no locking is needed; workers only compute.
-	start := time.Now()
+	start := time.Now() //rtlint:allow determinism wall-clock feeds Progress/Metrics timing only, never point results
 	prog := Progress{Total: len(points), Skipped: len(done), Done: len(done)}
-	for _, r := range done {
-		prog.Failures += r.Failures()
+	// Iterate the spec-ordered points, not the done map, so progress
+	// accounting never depends on map iteration order.
+	for _, pt := range points {
+		if r := done[pt.Key]; r != nil {
+			prog.Failures += r.Failures()
+		}
 	}
 	opts.Metrics.Counter("campaign_points_total").Add(int64(len(points)))
 	opts.Metrics.Counter("campaign_points_skipped").Add(int64(len(done)))
 	completed := 0
 	var ioErr error
 	ForEach(workers, todo, func(_ int, pt Point) *PointResult {
-		t0 := time.Now()
+		t0 := time.Now() //rtlint:allow determinism worker-side latency observation feeds the metrics histogram only
 		r := runPoint(spec, pt)
 		opts.Metrics.Histogram("campaign_point_us").Observe(time.Since(t0).Microseconds())
 		return r

@@ -66,8 +66,15 @@ func runPoint(spec *Spec, pt Point) (res *PointResult) {
 			res.SchedResponse++
 		}
 
+		// Walk tasks in system order rather than ranging the bounds map:
+		// max and sum are order-independent, but keeping the iteration
+		// deterministic is the contract rtvet enforces on result paths.
 		trialMax, trialSum := 0, 0
-		for _, b := range bounds {
+		for _, t := range sys.Tasks {
+			b := bounds[t.ID]
+			if b == nil {
+				continue
+			}
 			if b.Total > trialMax {
 				trialMax = b.Total
 			}

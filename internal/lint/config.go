@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// A Scoped pairs an analyzer with the import-path prefixes it applies
+// to. An empty prefix list means every loaded package.
+type Scoped struct {
+	Analyzer *Analyzer
+	Prefixes []string
+}
+
+// Applies reports whether the scoped analyzer covers importPath.
+func (s Scoped) Applies(importPath string) bool {
+	if len(s.Prefixes) == 0 {
+		return true
+	}
+	for _, p := range s.Prefixes {
+		if importPath == p || strings.HasPrefix(importPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultSuite is the repository's analyzer configuration — the single
+// source of truth shared by cmd/rtvet, make lint / CI, and the
+// self-check test that keeps `rtvet ./...` clean.
+//
+// Scopes mirror the contracts, not the whole tree:
+//
+//   - determinism guards the deterministic result path: the tick
+//     simulator, the conformance engine, the campaign engine and the
+//     workload generators. The campaign worker pool (pool.go) is the
+//     one blessed fan-out point; its collector serializes results back
+//     into spec order, which the byte-identical-across-workers tests
+//     verify at runtime.
+//   - lockdiscipline guards every package that holds a sync mutex near
+//     the substrate or its observers: shmem, pqueue, obs, server.
+//   - exhaustiveswitch is module-wide; the enums it protects (trace
+//     event kinds, protocol constants, job states) are switched on
+//     everywhere.
+//   - floatcompare guards the float-heavy analytical bounds.
+//   - jsonstable guards every package that writes JSONL artifacts:
+//     campaign checkpoints, conformance repros, trace streams, metrics
+//     snapshots and config round-trips.
+func DefaultSuite() []Scoped {
+	return []Scoped{
+		{
+			Analyzer: NewDeterminism(DeterminismConfig{AllowGoroutinesIn: []string{"pool.go"}}),
+			Prefixes: []string{
+				"mpcp/internal/sim",
+				"mpcp/internal/conformance",
+				"mpcp/internal/campaign",
+				"mpcp/internal/workload",
+			},
+		},
+		{
+			Analyzer: LockDiscipline,
+			Prefixes: []string{
+				"mpcp/internal/shmem",
+				"mpcp/internal/pqueue",
+				"mpcp/internal/obs",
+				"mpcp/internal/server",
+			},
+		},
+		{
+			Analyzer: NewExhaustiveSwitch(ExhaustiveSwitchConfig{EnumPathPrefixes: []string{"mpcp"}}),
+		},
+		{
+			Analyzer: FloatCompare,
+			Prefixes: []string{
+				"mpcp/internal/analysis",
+				"mpcp/internal/ceiling",
+			},
+		},
+		{
+			Analyzer: JSONStable,
+			Prefixes: []string{
+				"mpcp/internal/campaign",
+				"mpcp/internal/conformance",
+				"mpcp/internal/trace",
+				"mpcp/internal/obs",
+				"mpcp/internal/config",
+			},
+		},
+	}
+}
+
+// RunSuite loads patterns (relative to dir) and applies each suite
+// analyzer to the packages in its scope.
+func RunSuite(dir string, suite []Scoped, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Diagnostic
+	for _, sc := range suite {
+		var scoped []*Package
+		for _, p := range pkgs {
+			if sc.Applies(p.ImportPath) {
+				scoped = append(scoped, p)
+			}
+		}
+		out = append(out, Run(scoped, sc.Analyzer)...)
+	}
+	return sortDiags(out), nil
+}
+
+func sortDiags(ds []Diagnostic) []Diagnostic {
+	// Run already sorts within one analyzer batch; merging batches needs
+	// one more pass so the final report reads in file order.
+	out := append([]Diagnostic(nil), ds...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

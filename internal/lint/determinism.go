@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// DeterminismConfig tunes the determinism analyzer for a codebase.
+type DeterminismConfig struct {
+	// AllowGoroutinesIn lists file base names (e.g. "pool.go") whose
+	// `go` statements are blessed: the deterministic core may contain
+	// exactly one fan-out point — the worker pool — whose collector
+	// serializes results back into spec order.
+	AllowGoroutinesIn []string
+}
+
+// NewDeterminism builds the determinism analyzer. The zero config is
+// the strictest setting (no blessed goroutine files).
+//
+// The contract: packages on the deterministic result path must produce
+// byte-identical output for identical inputs, regardless of wall-clock
+// time, scheduling, or map iteration order. Four sources of
+// nondeterminism are rejected:
+//
+//   - time.Now — wall-clock reads. Timing belongs behind a metrics
+//     boundary, never in results.
+//   - package-level math/rand functions (and all of math/rand/v2) —
+//     they draw from a shared, racily-seeded source. Randomness must
+//     flow from an explicit rand.New(rand.NewSource(seed)) whose seed
+//     derives from the configuration or point key.
+//   - range over a map, unless the loop only builds other maps (order
+//     cannot leak) or fills a slice that is provably sorted later in
+//     the same function. Everything else — appends, sends, writes,
+//     returns, arbitrary calls — can leak iteration order into output.
+//   - `go` statements outside the blessed worker pool: ad-hoc
+//     concurrency reintroduces scheduling order into the result path.
+func NewDeterminism(cfg DeterminismConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "forbids wall clocks, shared rand, unsorted map iteration and ad-hoc goroutines in the deterministic core",
+	}
+	blessed := map[string]bool{}
+	for _, f := range cfg.AllowGoroutinesIn {
+		blessed[f] = true
+	}
+	a.Run = func(pass *Pass) {
+		inspectFuncs(pass.Pkg, func(decl *ast.FuncDecl) {
+			runDeterminism(pass, decl, blessed)
+		})
+	}
+	return a
+}
+
+func runDeterminism(pass *Pass, decl *ast.FuncDecl, blessedGoFiles map[string]bool) {
+	info := pass.Pkg.Info
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Methods (fn with a receiver) are exempt from the rand
+			// rules: a *rand.Rand method draws from its own explicitly
+			// seeded source, which is exactly the blessed pattern.
+			if fn := calleeFunc(info, n); fn != nil && fn.Pkg() != nil &&
+				fn.Type().(*types.Signature).Recv() == nil {
+				switch fn.Pkg().Path() {
+				case "time":
+					if fn.Name() == "Now" {
+						pass.Reportf(n.Pos(), "time.Now in the deterministic core: wall-clock reads make results irreproducible; derive timestamps from the simulation clock or keep timing behind a metrics boundary")
+					}
+				case "math/rand":
+					if !deterministicRandFunc(fn.Name()) {
+						pass.Reportf(n.Pos(), "math/rand.%s uses the shared global source: seed an explicit *rand.Rand from the configuration or point key instead", fn.Name())
+					}
+				case "math/rand/v2":
+					// v2 has no seedable global source at all; only
+					// explicitly-constructed generators are acceptable.
+					if !deterministicRandFunc(fn.Name()) {
+						pass.Reportf(n.Pos(), "math/rand/v2.%s draws from the per-process random source: construct a seeded generator instead", fn.Name())
+					}
+				}
+			}
+		case *ast.GoStmt:
+			file := filepath.Base(pass.Pkg.Fset.Position(n.Pos()).Filename)
+			if !blessedGoFiles[file] {
+				pass.Reportf(n.Pos(), "goroutine spawned outside the blessed worker pool: ad-hoc concurrency leaks scheduling order into the deterministic core")
+			}
+		case *ast.RangeStmt:
+			checkMapRange(pass, decl, n)
+		}
+		return true
+	})
+}
+
+// deterministicRandFunc reports whether name constructs a generator (or
+// source) rather than drawing from the shared one.
+func deterministicRandFunc(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}
+
+// checkMapRange flags `range m` over a map unless the body is
+// order-oblivious. The body is order-oblivious when its only effects
+// are writes into maps (assignments through index expressions, delete
+// calls) and declarations/uses of loop-local variables; additionally,
+// appending to a slice is tolerated when that same slice is passed to a
+// sort call later in the enclosing function — the canonical
+// collect-keys-then-sort idiom.
+func checkMapRange(pass *Pass, decl *ast.FuncDecl, rs *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	reason := mapRangeLeak(pass, decl, rs)
+	if reason == "" {
+		return
+	}
+	pass.Reportf(rs.Pos(), "range over map can leak iteration order (%s): iterate sorted keys or a slice instead", reason)
+}
+
+// mapRangeLeak returns a short description of how the loop body can
+// leak map iteration order, or "" when it provably cannot.
+func mapRangeLeak(pass *Pass, decl *ast.FuncDecl, rs *ast.RangeStmt) string {
+	info := pass.Pkg.Info
+	locals := map[types.Object]bool{}
+	addLocal := func(id *ast.Ident) {
+		if obj := info.Defs[id]; obj != nil {
+			locals[obj] = true
+		}
+	}
+	if id, ok := rs.Key.(*ast.Ident); ok {
+		addLocal(id)
+	}
+	if id, ok := rs.Value.(*ast.Ident); ok {
+		addLocal(id)
+	}
+	var walk func(stmts []ast.Stmt) string
+	walkStmt := func(s ast.Stmt) string {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			// `x := ...` introduces loop-locals; writes through map
+			// indexes are order-oblivious; appends are deferred to the
+			// sorted-later check; anything else leaks.
+			if s.Tok == token.DEFINE {
+				for _, l := range s.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						addLocal(id)
+					}
+				}
+				for _, r := range s.Rhs {
+					if reason := exprLeak(r); reason != "" {
+						return reason
+					}
+				}
+				return ""
+			}
+			for i, l := range s.Lhs {
+				switch l := l.(type) {
+				case *ast.IndexExpr:
+					if t := info.Types[l.X].Type; t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							continue // m2[k] = v: order cannot leak
+						}
+					}
+					return "writes to an indexed non-map value"
+				case *ast.Ident:
+					obj := info.Uses[l]
+					if locals[obj] {
+						continue
+					}
+					if i < len(s.Rhs) && sortedLaterAppend(pass, decl, rs, s.Rhs[i], obj) {
+						continue
+					}
+					return "writes to an outer variable"
+				default:
+					return "writes to an outer location"
+				}
+			}
+			return ""
+		case *ast.IncDecStmt:
+			if ix, ok := s.X.(*ast.IndexExpr); ok {
+				if t := info.Types[ix.X].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return ""
+					}
+				}
+			}
+			if id, ok := s.X.(*ast.Ident); ok && locals[info.Uses[id]] {
+				return ""
+			}
+			return "updates an outer variable"
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && info.Uses[id] == types.Universe.Lookup("delete") {
+					return ""
+				}
+			}
+			return "calls with side effects"
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							locals[info.Defs[id]] = true
+						}
+					}
+				}
+			}
+			return ""
+		case *ast.IfStmt:
+			if reason := walk(s.Body.List); reason != "" {
+				return reason
+			}
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				return walk(e.List)
+			case *ast.IfStmt:
+				return walk([]ast.Stmt{e})
+			}
+			return ""
+		case *ast.BlockStmt:
+			return walk(s.List)
+		case *ast.ForStmt:
+			return walk(s.Body.List)
+		case *ast.RangeStmt:
+			// A nested range gets its own independent check via Inspect;
+			// here only its body's effects on the outer scope matter.
+			return walk(s.Body.List)
+		case *ast.BranchStmt:
+			if s.Tok == token.CONTINUE {
+				return ""
+			}
+			return "breaks out depending on which key comes first"
+		case *ast.ReturnStmt:
+			return "returns depending on which key comes first"
+		case *ast.SendStmt:
+			return "sends on a channel"
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.GoStmt, *ast.DeferStmt, *ast.LabeledStmt:
+			return "contains control flow the analyzer cannot prove order-oblivious"
+		case *ast.EmptyStmt:
+			return ""
+		default:
+			return "contains statements the analyzer cannot prove order-oblivious"
+		}
+	}
+	walk = func(stmts []ast.Stmt) string {
+		for _, s := range stmts {
+			if reason := walkStmt(s); reason != "" {
+				return reason
+			}
+		}
+		return ""
+	}
+	return walk(rs.Body.List)
+}
+
+// exprLeak rejects right-hand sides that leak order even from a `:=`
+// definition (draining a channel is ordered by the scheduler).
+func exprLeak(e ast.Expr) string {
+	var reason string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			reason = "receives from a channel"
+			return false
+		}
+		return true
+	})
+	return reason
+}
+
+// sortedLaterAppend reports whether rhs is `append(obj, ...)` and obj
+// is sorted by a sort/slices call after the range statement in the same
+// function — the blessed collect-then-sort idiom.
+func sortedLaterAppend(pass *Pass, decl *ast.FuncDecl, rs *ast.RangeStmt, rhs ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || pass.Pkg.Info.Uses[id] != types.Universe.Lookup("append") {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	if base, ok := call.Args[0].(*ast.Ident); !ok || pass.Pkg.Info.Uses[base] != obj {
+		return false
+	}
+	sorted := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if sorted || n == nil {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeFunc(pass.Pkg.Info, c)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range c.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+					sorted = true
+				}
+				return !sorted
+			})
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// calleeFunc resolves the called function or method, or nil for calls
+// through function values, builtins and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

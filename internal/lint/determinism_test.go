@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mpcp/internal/lint"
+	"mpcp/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata/src/determinism",
+		lint.NewDeterminism(lint.DeterminismConfig{}))
+}
+
+// TestDeterminismBlessedGoroutineFile exercises the AllowGoroutinesIn
+// escape hatch: `go` statements in pool.go pass, the identical
+// statement in other.go still reports.
+func TestDeterminismBlessedGoroutineFile(t *testing.T) {
+	linttest.Run(t, "testdata/src/determinismpool",
+		lint.NewDeterminism(lint.DeterminismConfig{AllowGoroutinesIn: []string{"pool.go"}}))
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveSwitchConfig tunes which enum types are enforced.
+type ExhaustiveSwitchConfig struct {
+	// EnumPathPrefixes restricts enforcement to enum types declared in
+	// packages whose import path starts with one of these prefixes.
+	// Empty enforces every non-stdlib-looking enum the checker can see;
+	// in this repository the suite passes "mpcp" so that adding a trace
+	// event kind or protocol constant breaks the build of every switch
+	// that silently ignored it.
+	EnumPathPrefixes []string
+}
+
+// NewExhaustiveSwitch builds the exhaustiveswitch analyzer.
+//
+// The contract: a `switch` over one of the repository's enums — the
+// trace event kinds, protocol/queue-order/strategy constants, job
+// states — must either cover every declared constant of the type or
+// carry an explicit `default:` clause acknowledging that the remaining
+// kinds are ignored on purpose. Without this, adding an event kind
+// compiles cleanly while the observability and conformance replay
+// paths silently drop it.
+//
+// An enum is any defined type with an integer underlying type that has
+// at least two package-level constants declared of exactly that type.
+// Coverage is judged by constant value, so aliases of the same value
+// count as covering it.
+func NewExhaustiveSwitch(cfg ExhaustiveSwitchConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "exhaustiveswitch",
+		Doc:  "switches over repository enums must cover every constant or declare an explicit default",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				checkExhaustive(pass, sw, cfg)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkExhaustive(pass *Pass, sw *ast.SwitchStmt, cfg ExhaustiveSwitchConfig) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	declPkg := named.Obj().Pkg()
+	if declPkg == nil || !pathMatchesAny(declPkg.Path(), cfg.EnumPathPrefixes) {
+		return
+	}
+
+	members := enumMembers(declPkg, named)
+	if len(members) < 2 {
+		return
+	}
+
+	covered := map[string]bool{} // keyed by exact constant value
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: the author acknowledged the rest
+		}
+		for _, e := range cc.List {
+			if etv, ok := info.Types[e]; ok && etv.Value != nil {
+				covered[etv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, m := range members {
+		if !covered[m.val.ExactString()] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s (cover them or add an explicit default acknowledging they are ignored)",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+type enumMember struct {
+	name string
+	val  constant.Value
+}
+
+// enumMembers returns the package-level constants declared with exactly
+// the given type, sorted by value then name so reports are stable.
+func enumMembers(pkg *types.Package, named *types.Named) []enumMember {
+	var out []enumMember
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		out = append(out, enumMember{name: name, val: c.Val()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if constant.Compare(a.val, token.LSS, b.val) {
+			return true
+		}
+		if constant.Compare(b.val, token.LSS, a.val) {
+			return false
+		}
+		return a.name < b.name
+	})
+	return out
+}
+
+func pathMatchesAny(path string, prefixes []string) bool {
+	if len(prefixes) == 0 {
+		return !isLikelyStdlib(path)
+	}
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isLikelyStdlib distinguishes standard-library import paths (no dot in
+// the first element, e.g. "go/token") from module paths.
+func isLikelyStdlib(path string) bool {
+	first, _, _ := strings.Cut(path, "/")
+	return !strings.Contains(first, ".")
+}

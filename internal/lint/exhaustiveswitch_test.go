@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mpcp/internal/lint"
+	"mpcp/internal/lint/linttest"
+)
+
+func TestExhaustiveSwitch(t *testing.T) {
+	linttest.Run(t, "testdata/src/exhaustiveswitch",
+		lint.NewExhaustiveSwitch(lint.ExhaustiveSwitchConfig{EnumPathPrefixes: []string{"mpcp"}}))
+}
+
+// TestExhaustiveSwitchForeignEnums verifies scoping by prefix: with the
+// fixture's module excluded from EnumPathPrefixes, its enums are
+// foreign and nothing reports.
+func TestExhaustiveSwitchForeignEnums(t *testing.T) {
+	a := lint.NewExhaustiveSwitch(lint.ExhaustiveSwitchConfig{EnumPathPrefixes: []string{"some/other/module"}})
+	pkgs := loadFixture(t, "testdata/src/exhaustiveswitch")
+	if diags := lint.Run(pkgs, a); len(diags) != 0 {
+		t.Errorf("expected no findings for out-of-scope enums, got %d: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCompare flags exact `==` / `!=` comparisons of floating-point
+// values. The schedulability analyses accumulate utilizations and
+// blocking bounds in float64; two mathematically equal results can
+// differ in the last ulp depending on summation order, so an exact
+// comparison silently flips an "exactly at the bound" verdict. Compare
+// with an explicit epsilon (math.Abs(a-b) <= eps) or restructure the
+// arithmetic over integers (ticks) instead.
+//
+// Comparisons where either operand is the constant zero are exempt:
+// testing a value against literal 0 is the idiomatic "unset/sentinel"
+// check and exact by construction in every code path this repository
+// has. Comparisons folded entirely at compile time are ignored.
+var FloatCompare = &Analyzer{
+	Name: "floatcompare",
+	Doc:  "forbids exact ==/!= on floating-point utilization and bound values",
+}
+
+func init() {
+	FloatCompare.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				x, y := info.Types[be.X], info.Types[be.Y]
+				if !isFloat(x.Type) && !isFloat(y.Type) {
+					return true
+				}
+				if x.Value != nil && y.Value != nil {
+					return true // constant-folded, exact by definition
+				}
+				if isZeroConst(x) || isZeroConst(y) {
+					return true
+				}
+				pass.Reportf(be.Pos(), "exact float comparison (%s): results differ in the last ulp with summation order; compare with an epsilon or use integer ticks", be.Op)
+				return true
+			})
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

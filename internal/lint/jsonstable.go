@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// JSONStable flags json.Marshal / json.MarshalIndent /
+// (*json.Encoder).Encode calls whose argument type reaches a bare map
+// without an intervening MarshalJSON. The JSONL artifacts this
+// repository emits — campaign checkpoints, conformance repros, trace
+// streams, metrics snapshots — are contractually byte-identical across
+// runs and content-addressed (repro filenames hash the bytes). A bare
+// map in a snapshot schema is banned: its key set is schema-unstable
+// (fields appear and vanish per run), non-string keys round-trip
+// through type-specific formatting, and any future hash or gob path
+// inherits raw iteration order. Types that need map-shaped data
+// implement MarshalJSON over sorted keys or export a sorted slice, as
+// obs.Snapshot does.
+var JSONStable = &Analyzer{
+	Name: "jsonstable",
+	Doc:  "types serialized to JSONL snapshots/repros must not marshal bare maps",
+}
+
+func init() {
+	JSONStable.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || !isJSONMarshalCall(fn) || len(call.Args) == 0 {
+					return true
+				}
+				argType := info.Types[call.Args[0]].Type
+				if argType == nil {
+					return true
+				}
+				root := typeLabel(argType)
+				if path, found := bareMapPath(argType, root, map[*types.Named]bool{}); found {
+					pass.Reportf(call.Pos(), "%s.%s serializes %s which reaches bare map %s: snapshot/repro schemas must use sorted slices or a custom MarshalJSON", fn.Pkg().Name(), fn.Name(), root, path)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isJSONMarshalCall reports whether fn is encoding/json.Marshal,
+// MarshalIndent, or (*Encoder).Encode.
+func isJSONMarshalCall(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+		return false
+	}
+	switch fn.Name() {
+	case "Marshal", "MarshalIndent":
+		return true
+	case "Encode":
+		sig := fn.Type().(*types.Signature)
+		return sig.Recv() != nil
+	}
+	return false
+}
+
+// bareMapPath walks t looking for a map type not shielded by a custom
+// MarshalJSON, returning a human-readable field path to the first one
+// found. Interfaces stop the walk (the dynamic type is unknowable
+// statically); unexported fields are skipped because encoding/json
+// does.
+func bareMapPath(t types.Type, path string, seen map[*types.Named]bool) (string, bool) {
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		if seen[named] {
+			return "", false
+		}
+		seen[named] = true
+		if implementsJSONMarshaler(named) {
+			return "", false
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		return fmt.Sprintf("%s (%s)", path, types.TypeString(u, shortQualifier)), true
+	case *types.Pointer:
+		return bareMapPath(u.Elem(), path, seen)
+	case *types.Slice:
+		return bareMapPath(u.Elem(), path+"[]", seen)
+	case *types.Array:
+		return bareMapPath(u.Elem(), path+"[]", seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			if tag := parseJSONTagName(u.Tag(i)); tag == "-" {
+				continue
+			}
+			if p, found := bareMapPath(f.Type(), path+"."+f.Name(), seen); found {
+				return p, true
+			}
+		}
+	}
+	return "", false
+}
+
+// implementsJSONMarshaler reports whether T or *T declares MarshalJSON.
+// The signature is not verified strictly: a MarshalJSON method with the
+// wrong shape fails to compile against the json.Marshaler uses the
+// repository already has.
+func implementsJSONMarshaler(t types.Type) bool {
+	for _, recv := range []types.Type{t, types.NewPointer(t)} {
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, nil, "MarshalJSON")
+		if _, ok := obj.(*types.Func); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// parseJSONTagName extracts the name part of a `json:"..."` tag.
+func parseJSONTagName(tag string) string {
+	name, _, _ := strings.Cut(reflect.StructTag(tag).Get("json"), ",")
+	return name
+}
+
+// typeLabel renders a type compactly for diagnostics.
+func typeLabel(t types.Type) string {
+	return types.TypeString(t, shortQualifier)
+}
+
+// shortQualifier prints package names, not full import paths.
+func shortQualifier(p *types.Package) string { return p.Name() }

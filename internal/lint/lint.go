@@ -1,0 +1,171 @@
+// Package lint is a domain-specific static-analysis suite that proves,
+// at compile time, the two contracts every result in this repository
+// rests on: the deterministic core really is deterministic (PR 1's
+// byte-identical sweeps and PR 3's conformance oracles assume it), and
+// the shared-memory substrate honors strict lock/wakeup discipline.
+// Runtime tests can only catch a nondeterministic code path when it
+// happens to flake; these analyzers reject the whole bug class before a
+// single trace is produced.
+//
+// The suite is intentionally self-contained: analyzers are written
+// against the standard library's go/ast and go/types only (the
+// canonical golang.org/x/tools/go/analysis framework is mirrored in
+// miniature by Analyzer/Pass/Diagnostic), and packages are loaded
+// offline from compiler export data produced by `go list -export`.
+//
+// Findings are suppressed line-by-line with
+//
+//	//rtlint:allow <analyzer> <justification>
+//
+// placed on the offending line or the line directly above it. The
+// analyzer name may be "all". A justification is not parsed but is
+// expected by convention; suppressions without one do not survive
+// review.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. Run inspects a single type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the identifier used in output and in //rtlint:allow
+	// suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the contract enforced.
+	Doc string
+	// Run performs the check on pass.Pkg.
+	Run func(pass *Pass)
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the finding the way compilers do, so editors and CI
+// annotations pick positions up for free.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies each analyzer to each package, filters findings through
+// the //rtlint:allow suppression comments, and returns the survivors
+// sorted by position. Packages that failed to type-check are analyzed
+// anyway (the type info is partial); load-time errors are surfaced by
+// the loader, not here.
+func Run(pkgs []*Package, analyzers ...*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allow := suppressions(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if allow.covers(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// allowSet maps file -> line -> analyzer names allowed there.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A suppression covers its own line and the line directly below it
+	// (i.e. the comment sits on the finding's line or just above).
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if names := lines[line]; names != nil && (names[d.Analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions collects every //rtlint:allow comment in the package.
+func suppressions(pkg *Package) allowSet {
+	set := allowSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//rtlint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = map[string]bool{}
+				}
+				lines[pos.Line][fields[0]] = true
+			}
+		}
+	}
+	return set
+}
+
+// inspectFuncs calls fn for every function or method declaration with a
+// body in the package, giving analyzers a per-function scope without
+// re-deriving it.
+func inspectFuncs(pkg *Package, fn func(decl *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

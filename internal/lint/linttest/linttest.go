@@ -1,0 +1,174 @@
+// Package linttest runs internal/lint analyzers against fixture
+// packages and checks their findings against `// want "regexp"`
+// comments, the way golang.org/x/tools/go/analysis/analysistest does.
+//
+// A fixture is an ordinary compilable package under
+// internal/lint/testdata/src/ — the go tool skips testdata directories
+// when expanding `...`, so the deliberate violations never reach the
+// build, vet or staticcheck gates, while explicit directory arguments
+// still load (and compile) them for these tests.
+//
+// Every line that should produce a finding carries a trailing comment:
+//
+//	return time.Now() // want `time\.Now`
+//
+// with one double-quoted or backquoted regular expression per expected
+// finding. Each expectation must be matched by exactly one finding on
+// its line and every finding must be claimed by an expectation, so a
+// fixture also proves findings are reported exactly once. Suppressed
+// lines (//rtlint:allow) carry no expectation: the suppression filter
+// runs before comparison, which is how suppression handling itself is
+// tested.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mpcp/internal/lint"
+)
+
+// expectation is one `// want` entry.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the package rooted at pkgDir (relative to the caller's
+// working directory or absolute), applies the analyzers, and fails t
+// with a precise diff of missing and unexpected findings.
+func Run(t *testing.T, pkgDir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(pkgDir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	root, err := lint.ModuleRoot(abs)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkgs, err := lint.Load(root, "./"+filepath.ToSlash(rel))
+	if err != nil {
+		t.Fatalf("linttest: load %s: %v", pkgDir, err)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Fatalf("linttest: fixture %s does not type-check: %v", p.ImportPath, terr)
+		}
+	}
+
+	var wants []*expectation
+	for _, p := range pkgs {
+		w, err := parseWants(p)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		wants = append(wants, w...)
+	}
+
+	diags := lint.Run(pkgs, analyzers...)
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
+
+// parseWants extracts expectations from the package's comments.
+func parseWants(p *lint.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				patterns, err := splitPatterns(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				for _, pat := range patterns {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitPatterns parses a sequence of double-quoted or backquoted
+// strings.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want string in %q", s)
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want string %q: %v", s[:end+1], err)
+			}
+			out = append(out, unq)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern in %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted, got %q", s)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockDiscipline enforces the substrate's locking contract: a
+// sync.Mutex / sync.RWMutex acquired in a function must be released on
+// every return path (an early return holding the lock deadlocks the
+// next waiter), and no goroutine may block — channel send or receive,
+// select, time.Sleep, or a Wait call — while holding one (the paper's
+// rule that semaphore-queue operations are short and indivisible;
+// blocking under the queue lock is exactly the drift the RTEMS port
+// paper documents).
+//
+// The check is a conservative syntactic walk: branches are analyzed
+// with copies of the held-lock set, a release inside one branch does
+// not release for the code after the branch, and function literals are
+// analyzed as independent functions. When the analyzer cannot prove a
+// path safe it reports; intentional patterns carry an
+// //rtlint:allow lockdiscipline comment with justification.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "requires unlock on every return path and forbids blocking while holding a sync mutex",
+}
+
+func init() {
+	LockDiscipline.Run = func(pass *Pass) {
+		inspectFuncs(pass.Pkg, func(decl *ast.FuncDecl) {
+			runLockDiscipline(pass, decl.Body)
+			// Function literals are separate execution contexts (they
+			// may run on another goroutine or after the caller
+			// returned), so each gets a fresh held-set.
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					runLockDiscipline(pass, lit.Body)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// lockState tracks which mutexes are held at a program point. Keys are
+// the printed receiver expression plus the read/write flavor, e.g.
+// "r.mu" or "r.mu(R)".
+type lockState struct {
+	held     map[string]token.Pos // where the lock was taken
+	deferred map[string]bool      // released by a defer on function exit
+}
+
+func (s *lockState) clone() *lockState {
+	c := &lockState{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+func runLockDiscipline(pass *Pass, body *ast.BlockStmt) {
+	st := &lockState{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+	walkLockStmts(pass, body.List, st)
+	// A lock still held (and not defer-released) when the function falls
+	// off the end is as much a leak as an early return.
+	for _, key := range st.heldKeys() {
+		if !st.deferred[key] {
+			pass.Reportf(st.held[key], "%s is locked here but not released on the fall-through path; unlock before returning or use defer", key)
+		}
+	}
+}
+
+// heldKeys returns the held lock keys in sorted order so reports are
+// deterministic.
+func (s *lockState) heldKeys() []string {
+	keys := make([]string, 0, len(s.held))
+	for k := range s.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func walkLockStmts(pass *Pass, stmts []ast.Stmt, st *lockState) {
+	for _, s := range stmts {
+		walkLockStmt(pass, s, st)
+	}
+}
+
+func walkLockStmt(pass *Pass, s ast.Stmt, st *lockState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, pos := mutexOp(pass, s.X); op != "" {
+			switch op {
+			case "lock":
+				st.held[key] = pos
+			case "unlock":
+				delete(st.held, key)
+				delete(st.deferred, key)
+			}
+			return
+		}
+		reportBlockingExpr(pass, s.X, st)
+	case *ast.DeferStmt:
+		if key, op, _ := mutexOp(pass, s.Call); op == "unlock" {
+			st.deferred[key] = true
+			return
+		}
+	case *ast.SendStmt:
+		reportBlocking(pass, s.Pos(), st, "channel send")
+		reportBlockingExpr(pass, s.Value, st)
+	case *ast.SelectStmt:
+		reportBlocking(pass, s.Pos(), st, "select")
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				walkLockStmts(pass, cc.Body, st.clone())
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			reportBlockingExpr(pass, e, st)
+		}
+		for _, key := range st.heldKeys() {
+			if !st.deferred[key] {
+				pass.Reportf(s.Pos(), "return while holding %s (locked at %s) without an unlock on this path", key, pass.Pkg.Fset.Position(st.held[key]))
+			}
+		}
+		// Nothing runs after a return on this path.
+		st.held = map[string]token.Pos{}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkLockStmt(pass, s.Init, st)
+		}
+		reportBlockingExpr(pass, s.Cond, st)
+		walkLockStmts(pass, s.Body.List, st.clone())
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			walkLockStmts(pass, e.List, st.clone())
+		case *ast.IfStmt:
+			walkLockStmt(pass, e, st.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			walkLockStmt(pass, s.Init, st)
+		}
+		walkLockStmts(pass, s.Body.List, st.clone())
+	case *ast.RangeStmt:
+		reportBlockingExpr(pass, s.X, st)
+		walkLockStmts(pass, s.Body.List, st.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			walkLockStmt(pass, s.Init, st)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkLockStmts(pass, cc.Body, st.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkLockStmts(pass, cc.Body, st.clone())
+			}
+		}
+	case *ast.BlockStmt:
+		walkLockStmts(pass, s.List, st)
+	case *ast.LabeledStmt:
+		walkLockStmt(pass, s.Stmt, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			reportBlockingExpr(pass, e, st)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine has its own stack; nothing to track here
+		// (its body is analyzed as a function literal).
+	}
+}
+
+// mutexOp classifies e as a sync lock or unlock call and returns the
+// receiver key. Only methods actually declared by the sync package
+// count, so domain types with Lock/Unlock APIs (the simulator's
+// semaphore operations) are not confused for mutexes.
+func mutexOp(pass *Pass, e ast.Expr) (key, op string, pos token.Pos) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", "", token.NoPos
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", token.NoPos
+	}
+	fn, _ := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", token.NoPos
+	}
+	recv := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock":
+		return recv, "lock", call.Pos()
+	case "RLock":
+		return recv + "(R)", "lock", call.Pos()
+	case "Unlock":
+		return recv, "unlock", call.Pos()
+	case "RUnlock":
+		return recv + "(R)", "unlock", call.Pos()
+	}
+	return "", "", token.NoPos
+}
+
+// reportBlockingExpr flags blocking operations buried in an expression:
+// channel receives, time.Sleep, and Wait calls (sync.WaitGroup.Wait,
+// sync.Cond.Wait, exec.Cmd.Wait — anything that parks the goroutine).
+func reportBlockingExpr(pass *Pass, e ast.Expr, st *lockState) {
+	if e == nil || len(st.held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate execution context
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				reportBlocking(pass, n.Pos(), st, "channel receive")
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Pkg.Info, n); fn != nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+					reportBlocking(pass, n.Pos(), st, "time.Sleep")
+				} else if fn.Name() == "Wait" && fn.Type().(*types.Signature).Recv() != nil {
+					reportBlocking(pass, n.Pos(), st, fn.FullName())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func reportBlocking(pass *Pass, pos token.Pos, st *lockState, what string) {
+	if keys := st.heldKeys(); len(keys) > 0 {
+		// One report per site is enough; name the first held lock.
+		pass.Reportf(pos, "%s while holding %s: blocking under a mutex stalls every other waiter and can deadlock the wakeup path", what, keys[0])
+	}
+}

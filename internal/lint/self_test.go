@@ -1,0 +1,81 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mpcp/internal/lint"
+)
+
+// loadFixture loads one testdata package, failing the test on loader or
+// type errors. Shared by tests that need raw packages rather than the
+// linttest want-comment harness.
+func loadFixture(t *testing.T, dir string) []*lint.Package {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := lint.ModuleRoot(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, "./"+filepath.ToSlash(rel))
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Fatalf("fixture %s does not type-check: %v", p.ImportPath, terr)
+		}
+	}
+	return pkgs
+}
+
+// TestRepoClean is the self-check the CI gate relies on: the default
+// suite over the whole module must report nothing. Deliberate
+// violations live only under testdata, which `./...` does not expand
+// into; everything else is either fixed or carries a justified
+// //rtlint:allow.
+func TestRepoClean(t *testing.T) {
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunSuite(root, lint.DefaultSuite(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("rtvet finding on the repository itself: %s", d)
+	}
+}
+
+// TestDefaultSuiteShape pins the suite's composition so a dropped
+// analyzer cannot silently pass CI.
+func TestDefaultSuiteShape(t *testing.T) {
+	want := map[string]bool{
+		"determinism":      true,
+		"lockdiscipline":   true,
+		"exhaustiveswitch": true,
+		"floatcompare":     true,
+		"jsonstable":       true,
+	}
+	suite := lint.DefaultSuite()
+	if len(suite) != len(want) {
+		t.Fatalf("DefaultSuite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for _, sc := range suite {
+		if !want[sc.Analyzer.Name] {
+			t.Errorf("unexpected analyzer %q in DefaultSuite", sc.Analyzer.Name)
+		}
+		delete(want, sc.Analyzer.Name)
+	}
+	for name := range want {
+		t.Errorf("DefaultSuite is missing analyzer %q", name)
+	}
+}

@@ -1,0 +1,97 @@
+// Package determinism is a linttest fixture: every construct the
+// determinism analyzer must flag, next to the blessed alternatives it
+// must not.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand\.Intn`
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want `math/rand\.Float64`
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func mapOrderLeak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map`
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapSortedAfter(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapSetBuild(m map[string]int) map[string]bool {
+	set := make(map[string]bool, len(m))
+	for k := range m {
+		set[k] = true
+	}
+	return set
+}
+
+func mapDeleteOnly(m, drop map[string]int) {
+	for k := range drop {
+		delete(m, k)
+	}
+}
+
+func mapPrint(m map[string]int) {
+	for k, v := range m { // want `range over map`
+		fmt.Println(k, v)
+	}
+}
+
+func mapEarlyReturn(m map[string]int) string {
+	for k, v := range m { // want `range over map`
+		if v > 10 {
+			return k
+		}
+	}
+	return ""
+}
+
+func mapAccumulate(m map[string]int) int {
+	n := 0
+	for _, v := range m { // want `range over map`
+		n += v
+	}
+	return n
+}
+
+func spawn(ch chan<- int) {
+	go send(ch) // want `goroutine`
+}
+
+func send(ch chan<- int) { ch <- 1 }
+
+func suppressedClock() time.Time {
+	//rtlint:allow determinism fixture: suppression on the line above must hold
+	return time.Now()
+}
+
+func suppressedInline() int {
+	return rand.Intn(10) //rtlint:allow determinism fixture: suppression on the same line must hold
+}

@@ -1,0 +1,5 @@
+package determinismpool
+
+func rogue(ch chan<- int) {
+	go worker(ch, 0) // want `goroutine`
+}

@@ -1,0 +1,16 @@
+// Package determinismpool is a linttest fixture for the determinism
+// analyzer's blessed-goroutine-file escape hatch: `go` statements in
+// pool.go are allowed when the analyzer is configured with
+// AllowGoroutinesIn: ["pool.go"], while the same statement in any other
+// file of the package still reports.
+package determinismpool
+
+func fanOut(n int) chan int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go worker(ch, i)
+	}
+	return ch
+}
+
+func worker(ch chan<- int, i int) { ch <- i }

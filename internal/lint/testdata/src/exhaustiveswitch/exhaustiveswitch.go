@@ -1,0 +1,101 @@
+// Package exhaustiveswitch is a linttest fixture: switches over a
+// local enum that the exhaustiveswitch analyzer must accept (full
+// coverage, explicit default) and reject (silently missing constants).
+package exhaustiveswitch
+
+// Kind mimics the repository's trace event-kind / protocol enums: a
+// defined integer type with several package-level constants.
+type Kind int
+
+const (
+	KindA Kind = iota + 1
+	KindB
+	KindC
+)
+
+// KindAlias covers the same value as KindA; coverage is judged by
+// value, so a case on the alias counts for both names.
+const KindAlias = KindA
+
+func full(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	case KindC:
+		return "c"
+	}
+	return ""
+}
+
+func withDefault(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	default:
+		return "other"
+	}
+}
+
+func aliasCovers(k Kind) string {
+	switch k {
+	case KindAlias:
+		return "a"
+	case KindB:
+		return "b"
+	case KindC:
+		return "c"
+	}
+	return ""
+}
+
+func missing(k Kind) string {
+	switch k { // want `missing KindB, KindC`
+	case KindA:
+		return "a"
+	}
+	return ""
+}
+
+func missingOne(k Kind) string {
+	switch k { // want `missing KindC`
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	}
+	return ""
+}
+
+func suppressedMissing(k Kind) string {
+	//rtlint:allow exhaustiveswitch fixture: the remaining kinds are exercised elsewhere
+	switch k {
+	case KindB:
+		return "b"
+	}
+	return ""
+}
+
+// lone has a single constant, so it is not an enum and switches over it
+// are unconstrained.
+type lone int
+
+const onlyOne lone = 1
+
+func loneSwitch(v lone) bool {
+	switch v {
+	case onlyOne:
+		return true
+	}
+	return false
+}
+
+// plainInt switches over built-in types are never enum switches.
+func plainInt(v int) bool {
+	switch v {
+	case 1:
+		return true
+	}
+	return false
+}

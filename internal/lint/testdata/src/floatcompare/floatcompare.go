@@ -1,0 +1,52 @@
+// Package floatcompare is a linttest fixture: exact float comparisons
+// the floatcompare analyzer must flag, next to the exempt patterns
+// (zero sentinels, constant folds, epsilon comparisons, integers).
+package floatcompare
+
+import "math"
+
+const eps = 1e-9
+
+func exactEq(a, b float64) bool {
+	return a == b // want `exact float comparison \(==\)`
+}
+
+func exactNeq(a, b float64) bool {
+	return a != b // want `exact float comparison \(!=\)`
+}
+
+func mixedConst(u float64) bool {
+	return u == 0.69 // want `exact float comparison \(==\)`
+}
+
+func float32Too(a, b float32) bool {
+	return a == b // want `exact float comparison \(==\)`
+}
+
+func zeroSentinel(u float64) bool {
+	return u == 0
+}
+
+func zeroSentinelFlipped(u float64) bool {
+	return 0.0 != u
+}
+
+func constFold() bool {
+	return 0.1+0.2 == 0.3
+}
+
+func epsilonCompare(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func orderedOK(a, b float64) bool {
+	return a < b
+}
+
+func intCompare(a, b int) bool {
+	return a == b
+}
+
+func suppressed(a, b float64) bool {
+	return a == b //rtlint:allow floatcompare fixture: operands are copies of the same computation
+}

@@ -1,0 +1,92 @@
+// Package jsonstable is a linttest fixture: JSONL-style marshal calls
+// whose payload reaches a bare map (flagged) versus schemas built on
+// sorted slices or shielded by a custom MarshalJSON (accepted).
+package jsonstable
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+type snapshot struct {
+	Name   string         `json:"name"`
+	Counts map[string]int `json:"counts"`
+}
+
+type record struct {
+	Seq   int        `json:"seq"`
+	Inner []snapshot `json:"inner"`
+}
+
+func writeSnapshot(s snapshot) ([]byte, error) {
+	return json.Marshal(s) // want `bare map jsonstable\.snapshot\.Counts`
+}
+
+func writeIndented(rs []record) ([]byte, error) {
+	return json.MarshalIndent(rs, "", "  ") // want `bare map \[\]jsonstable\.record\[\]\.Inner\[\]\.Counts`
+}
+
+func streamSnapshot(w io.Writer, s *snapshot) error {
+	return json.NewEncoder(w).Encode(s) // want `bare map \*jsonstable\.snapshot\.Counts`
+}
+
+// cleanRecord is the blessed shape: map-like data as a sorted slice.
+type countEntry struct {
+	Key string `json:"key"`
+	N   int    `json:"n"`
+}
+
+type cleanRecord struct {
+	Name   string       `json:"name"`
+	Counts []countEntry `json:"counts"`
+}
+
+func writeClean(r cleanRecord) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// sortedMap shields its map behind a MarshalJSON that emits sorted keys.
+type sortedMap map[string]int
+
+func (m sortedMap) MarshalJSON() ([]byte, error) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type entry struct {
+		Key string `json:"key"`
+		N   int    `json:"n"`
+	}
+	out := make([]entry, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, entry{Key: k, N: m[k]})
+	}
+	return json.Marshal(out)
+}
+
+type shielded struct {
+	Name   string    `json:"name"`
+	Counts sortedMap `json:"counts"`
+}
+
+func writeShielded(s shielded) ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// hiddenMap fields that encoding/json never emits are fine.
+type hiddenMap struct {
+	Name    string         `json:"name"`
+	scratch map[string]int // unexported: skipped by encoding/json
+	Dropped map[string]int `json:"-"`
+}
+
+func writeHidden(h hiddenMap) ([]byte, error) {
+	_ = h.scratch
+	return json.Marshal(h)
+}
+
+func suppressedMarshal(s snapshot) ([]byte, error) {
+	return json.Marshal(s) //rtlint:allow jsonstable fixture: debug-only dump, never content-addressed
+}

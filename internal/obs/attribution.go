@@ -73,6 +73,8 @@ func (c Category) Blocking() bool {
 	switch c {
 	case CatLocalBlocking, CatGlobalWait, CatSpin, CatGcsInversion, CatInversion:
 		return true
+	case CatRunning, CatRemoteExec, CatPreemption:
+		return false
 	}
 	return false
 }
@@ -245,6 +247,7 @@ func Attribute(l *trace.Log, sys *task.System, endTick int) (*Report, error) {
 				js.state = trace.EvFinish
 				js.open = false
 			}
+		default:
 			// EvLock, EvUnlock, EvGrant, EvStart, EvPreempt, EvInherit and
 			// EvDeadlineMiss do not change the waiting state: a lock that
 			// succeeds leaves the job ready, a grant to a suspended job is
@@ -295,6 +298,10 @@ func Attribute(l *trace.Log, sys *task.System, endTick int) (*Report, error) {
 					a.Inversion++
 				}
 			}
+		default:
+			// js.state only ever holds the waiting kinds set by apply
+			// (ready/block-local/suspend-global/spin-global); closed jobs
+			// (EvFinish) are never passed to classify.
 		}
 	}
 

@@ -59,6 +59,11 @@ func CollectTrace(reg *Registry, l *trace.Log, sys *task.System, endTick int) {
 				reg.Histogram(fmt.Sprintf("sem_hold_ticks{sem=%d}", e.Sem)).Observe(int64(e.Time - start))
 				delete(holdStart, e.Sem)
 			}
+		default:
+			// EvStart, EvGrant and EvInherit carry no metric of their own:
+			// starts are visible in the execution matrix, grants are
+			// followed by the EvReady wake-up, and priority changes are
+			// attribution's (not collection's) concern.
 		}
 	}
 

@@ -172,6 +172,11 @@ func SimulateContention(cfg ContentionConfig) (*ContentionStats, error) {
 				p := procs[i]
 				busOwner = -1
 				switch p.state {
+				default:
+					// Only an acquisition (stBus) or a release (stRelease)
+					// transaction can own the bus; arbitration never
+					// grants it to idle, wanting, critical-section or
+					// parked processors.
 				case stBus: // acquisition attempt completed
 					switch cfg.Strategy {
 					case TASSpin, CachedSpin:

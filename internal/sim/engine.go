@@ -626,6 +626,9 @@ func (e *Engine) accountWaiting() {
 			continue
 		}
 		switch j.State {
+		case StateFinished:
+			// Finished jobs leave the active set at completion; one that
+			// is still visible here accrues nothing.
 		case StateBlocked:
 			j.BlockedTicks++
 		case StateSuspended:

@@ -61,6 +61,10 @@ func CheckMutex(l *Log) []Violation {
 			}
 			heldBy[e.Sem] = false
 			delete(holder, e.Sem)
+		default:
+			// Ownership is reconstructed from lock/unlock alone; every
+			// other kind (grants included — handover is encoded as
+			// unlock-then-lock) is irrelevant to mutual exclusion.
 		}
 	}
 	return out
@@ -161,6 +165,9 @@ func hasWaitEventBetween(l *Log, iv Interval, from, to int) bool {
 		switch e.Kind {
 		case EvBlockLocal, EvSuspendGlobal, EvSpinGlobal:
 			return true
+		default:
+			// Only the three waiting kinds matter; keep scanning past
+			// everything else.
 		}
 	}
 	return false
