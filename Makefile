@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json repro repro-verify sweep sweep-smoke metrics-demo check check-smoke fuzz vet rtvet fmt lint cover clean
+.PHONY: all build test test-short bench bench-json bench-sim repro repro-verify sweep sweep-smoke metrics-demo check check-smoke fuzz vet rtvet fmt lint cover clean
 
 all: build test
 
@@ -20,6 +20,12 @@ bench:
 # Machine-readable campaign throughput (points/sec at 1 vs N workers).
 bench-json:
 	$(GO) test -json -bench BenchmarkCampaignPoints -benchtime=1x -run '^$$' ./internal/campaign > BENCH_campaign.json
+
+# Machine-readable simulator-throughput checkpoint: the event-horizon
+# fast path vs the single-tick reference stepper, on the default and the
+# sparse workload (benchstat-comparable; docs/simulator.md).
+bench-sim:
+	$(GO) test -json -bench 'BenchmarkSimulateHyperperiodMPCP(Reference|Sparse|SparseReference)?$$' -benchtime=2s -run '^$$' . > BENCH_sim.json
 
 # Full acceptance-ratio campaign (MPCP vs DPCP vs hybrid), resumable.
 sweep:

@@ -25,11 +25,17 @@ type (
 // AnalysisOption configures blocking-bound computation.
 type AnalysisOption func(*analysis.Options)
 
-// ForDPCP computes the bounds for the message-based protocol of [8]
-// instead of the shared-memory protocol.
-func ForDPCP() AnalysisOption {
+// WithDPCPAnalysis computes the bounds for the message-based protocol of
+// [8] instead of the shared-memory protocol.
+func WithDPCPAnalysis() AnalysisOption {
 	return func(o *analysis.Options) { o.Kind = analysis.KindDPCP }
 }
+
+// ForDPCP computes the bounds for the message-based protocol of [8].
+//
+// Deprecated: renamed WithDPCPAnalysis for consistency with the other
+// option constructors.
+func ForDPCP() AnalysisOption { return WithDPCPAnalysis() }
 
 // WithDeferredPenalty includes the deferred-execution scheduling penalty
 // of Section 5.1 in each task's bound.
@@ -37,11 +43,18 @@ func WithDeferredPenalty() AnalysisOption {
 	return func(o *analysis.Options) { o.DeferredPenalty = true }
 }
 
-// AnalyzeGcsAtCeiling mirrors the WithGcsAtCeiling protocol variant in the
-// analysis.
-func AnalyzeGcsAtCeiling() AnalysisOption {
+// WithGcsAtCeilingAnalysis mirrors the WithGcsAtCeiling protocol variant
+// in the analysis.
+func WithGcsAtCeilingAnalysis() AnalysisOption {
 	return func(o *analysis.Options) { o.GcsAtCeiling = true }
 }
+
+// AnalyzeGcsAtCeiling mirrors the WithGcsAtCeiling protocol variant in the
+// analysis.
+//
+// Deprecated: renamed WithGcsAtCeilingAnalysis for consistency with the
+// other option constructors.
+func AnalyzeGcsAtCeiling() AnalysisOption { return WithGcsAtCeilingAnalysis() }
 
 // WithDPCPSyncProc mirrors WithSyncProc for the DPCP analysis.
 func WithDPCPSyncProc(s SemID, p ProcID) AnalysisOption {

@@ -114,6 +114,69 @@ func BenchmarkSimulateHyperperiodMPCP(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateHyperperiodMPCPReference is the same workload on the
+// single-tick reference stepper — the baseline the event-horizon fast
+// path is measured against (BENCH_sim.json tracks the pair).
+func BenchmarkSimulateHyperperiodMPCPReference(b *testing.B) {
+	sys, err := mpcp.GenerateWorkload(mpcp.DefaultWorkload(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mpcp.Simulate(sys, mpcp.MPCP(), mpcp.WithReferenceStepper()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sparseWorkload is the regime the fast path exists for: periods twenty
+// times the default menu (hyperperiods grow multiplicatively with task
+// periods) at 10% per-processor utilization,
+// so the vast majority of ticks carry no release, completion or deadline.
+// The headline >=5x speedup target is measured here
+// (BenchmarkSimulateHyperperiodMPCPSparse vs ...SparseReference).
+func sparseWorkload(b *testing.B) *mpcp.System {
+	b.Helper()
+	cfg := mpcp.DefaultWorkload(1)
+	cfg.UtilPerProc = 0.1
+	for i := range cfg.Periods {
+		cfg.Periods[i] *= 20
+	}
+	sys, err := mpcp.GenerateWorkload(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkSimulateHyperperiodMPCPSparse measures the fast path at 10%
+// per-processor utilization.
+func BenchmarkSimulateHyperperiodMPCPSparse(b *testing.B) {
+	sys := sparseWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mpcp.Simulate(sys, mpcp.MPCP()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateHyperperiodMPCPSparseReference is the reference-
+// stepper baseline of the sparse workload.
+func BenchmarkSimulateHyperperiodMPCPSparseReference(b *testing.B) {
+	sys := sparseWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mpcp.Simulate(sys, mpcp.MPCP(), mpcp.WithReferenceStepper()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulateHyperperiodDPCP is the DPCP counterpart.
 func BenchmarkSimulateHyperperiodDPCP(b *testing.B) {
 	sys, err := mpcp.GenerateWorkload(mpcp.DefaultWorkload(1))

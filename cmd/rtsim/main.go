@@ -43,6 +43,7 @@ func run(args []string, out io.Writer) error {
 		traceOut   = fs.String("trace-out", "", "write the trace as JSON to this file")
 		streamOut  = fs.String("trace-stream", "", "stream the trace as JSONL to this file while running")
 		metricsOut = fs.String("metrics", "", "write a metrics snapshot (responses, semaphores, utilization, blocking attribution) as JSON to this file")
+		reference  = fs.Bool("reference", false, "use the single-tick reference stepper instead of the event-horizon fast path (identical output, slower)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,7 +62,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	log := trace.New()
-	cfg := sim.Config{Horizon: *horizon, Trace: log}
+	cfg := sim.Config{Horizon: *horizon, Trace: log, ReferenceStepper: *reference}
 	var streamFile *os.File
 	if *streamOut != "" {
 		f, err := os.Create(*streamOut)
@@ -165,6 +166,7 @@ func run(args []string, out io.Writer) error {
 		}
 		reg := obs.NewRegistry()
 		obs.CollectTrace(reg, log, sys, endTick)
+		obs.CollectSimSpeed(reg, res.Horizon, res.TicksSkipped)
 		rep, err := obs.Attribute(log, sys, endTick)
 		if err != nil {
 			return err

@@ -120,7 +120,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db, err := mpcp.BlockingBounds(sys, mpcp.ForDPCP())
+	db, err := mpcp.BlockingBounds(sys, mpcp.WithDPCPAnalysis())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	repD, err := mpcp.Analyze(sys, mpcp.ForDPCP(), mpcp.WithDeferredPenalty())
+	repD, err := mpcp.Analyze(sys, mpcp.WithDPCPAnalysis(), mpcp.WithDeferredPenalty())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,7 +38,7 @@ func main() {
 			if repM.SchedulableResponse {
 				schedM++
 			}
-			repD, err := mpcp.Analyze(sys, mpcp.ForDPCP(), mpcp.WithDeferredPenalty())
+			repD, err := mpcp.Analyze(sys, mpcp.WithDPCPAnalysis(), mpcp.WithDeferredPenalty())
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -88,7 +88,7 @@ func main() {
 		if rp.SchedulableResponse {
 			paperAdmits++
 		}
-		rc, err := mpcp.Analyze(sys, mpcp.WithDeferredPenalty(), mpcp.AnalyzeGcsAtCeiling())
+		rc, err := mpcp.Analyze(sys, mpcp.WithDeferredPenalty(), mpcp.WithGcsAtCeilingAnalysis())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -68,22 +68,28 @@ func main() {
 	fmt.Printf("schedulable: utilization test=%v, response-time test=%v\n\n",
 		rep.SchedulableUtil, rep.SchedulableResponse)
 
-	// Simulate one hyperperiod under MPCP and verify the invariants.
-	tr := mpcp.NewTrace()
-	res, err := mpcp.Simulate(sys, mpcp.MPCP(), mpcp.WithTrace(tr))
+	// Simulate one hyperperiod under MPCP via a Session and verify the
+	// invariants. (mpcp.Simulate is the one-call shorthand; a Session
+	// additionally supports tick-by-tick Step for interactive tooling.)
+	sess, err := mpcp.Start(sys, mpcp.MPCP(), mpcp.WithTrace(mpcp.NewTrace()))
 	if err != nil {
 		log.Fatal(err)
 	}
+	res, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := sess.Trace()
 	fmt.Printf("simulated %d ticks under %s\n", res.Horizon, res.Protocol)
 	for _, t := range sys.Tasks {
 		st := res.Stats[t.ID]
 		fmt.Printf("  %-10s jobs=%-3d missed=%-2d maxResponse=%-4d observedB=%-3d (bound %d)\n",
 			t.Name, st.Finished, st.Missed, st.MaxResponse, st.MaxMeasuredB, bounds[t.ID].Total)
 	}
-	if vs := mpcp.CheckMutex(tr); len(vs) > 0 {
+	if vs := tr.CheckMutex(); len(vs) > 0 {
 		log.Fatalf("mutual exclusion violated: %v", vs)
 	}
-	if vs := mpcp.CheckGcsPreemption(tr, sys.NumProcs); len(vs) > 0 {
+	if vs := tr.CheckGcsPreemption(sys.NumProcs); len(vs) > 0 {
 		log.Fatalf("gcs preemption violated: %v", vs)
 	}
 	fmt.Println("\ninvariants hold: mutual exclusion, gcs never preempted by non-critical code")

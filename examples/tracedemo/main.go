@@ -105,7 +105,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\nFigure 5-1 — execution chart (G = global cs, L = local cs):")
-	fmt.Print(mpcp.Gantt(tr, sys, 0, 24))
+	fmt.Print(tr.Gantt(sys, 0, 24))
 
 	fmt.Println("\nevent log (first 25 events):")
 	for i, e := range tr.Events {
@@ -118,7 +118,7 @@ func main() {
 	if res.AnyMiss {
 		log.Fatal("unexpected deadline miss")
 	}
-	if vs := mpcp.CheckGcsPreemption(tr, sys.NumProcs); len(vs) > 0 {
+	if vs := tr.CheckGcsPreemption(sys.NumProcs); len(vs) > 0 {
 		log.Fatalf("Theorem 2 violated: %v", vs)
 	}
 	fmt.Println("\nall deadlines met; no gcs preempted by non-critical code (Theorem 2)")

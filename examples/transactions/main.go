@@ -114,7 +114,7 @@ func main() {
 		}
 		fmt.Printf("%-24s %-10v %-12d %-14d %-12s\n",
 			d.name, res.Deadlock, worstB, worstR, analyzable)
-		if vs := mpcp.CheckMutex(tr); len(vs) > 0 {
+		if vs := tr.CheckMutex(); len(vs) > 0 {
 			log.Fatalf("%s: mutual exclusion violated: %v", d.name, vs)
 		}
 	}

@@ -41,8 +41,11 @@ type Options struct {
 	// campaign_points_total / _skipped / _done / _failures counters, a
 	// campaign_point_us latency histogram (observed worker-side, so it
 	// reflects true per-point cost under concurrency) and a
-	// campaign_points_per_sec gauge. Timing lives only here — point
-	// results stay deterministic and byte-identical across runs.
+	// campaign_points_per_sec gauge, plus the simulator fast-path
+	// odometer (sim_ticks_total / sim_ticks_skipped counters and the
+	// sim_speedup_ratio gauge) accumulated over every confirmation run.
+	// Timing lives only here — point results stay deterministic and
+	// byte-identical across runs.
 	Metrics *obs.Registry
 }
 
@@ -143,7 +146,7 @@ func Run(spec *Spec, opts Options) (*Campaign, error) {
 	var ioErr error
 	ForEach(workers, todo, func(_ int, pt Point) *PointResult {
 		t0 := time.Now() //rtlint:allow determinism worker-side latency observation feeds the metrics histogram only
-		r := runPoint(spec, pt)
+		r := runPoint(spec, pt, opts.Metrics)
 		opts.Metrics.Histogram("campaign_point_us").Observe(time.Since(t0).Microseconds())
 		return r
 	}, func(_ int, r *PointResult) {

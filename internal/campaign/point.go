@@ -7,6 +7,7 @@ import (
 	"mpcp/internal/core"
 	"mpcp/internal/dpcp"
 	"mpcp/internal/hybrid"
+	"mpcp/internal/obs"
 	"mpcp/internal/sim"
 	"mpcp/internal/task"
 	"mpcp/internal/workload"
@@ -19,8 +20,10 @@ var forcePanicHook func(Point) bool
 // runPoint evaluates one grid point: SeedsPerPoint seeded trials of
 // generate -> analyze -> (optionally) simulate. It never returns an
 // error; per-trial failures are counted and a recovered panic is
-// recorded in Err so one bad point cannot kill a campaign.
-func runPoint(spec *Spec, pt Point) (res *PointResult) {
+// recorded in Err so one bad point cannot kill a campaign. The registry
+// (nil-safe, worker-shared) accumulates fast-path instrumentation for
+// the confirmation simulations; point results never depend on it.
+func runPoint(spec *Spec, pt Point, reg *obs.Registry) (res *PointResult) {
 	res = &PointResult{
 		Key:          pt.Key,
 		Protocol:     pt.Protocol,
@@ -89,7 +92,7 @@ func runPoint(spec *Spec, pt Point) (res *PointResult) {
 		}
 
 		if spec.Simulate {
-			missed, ok := simTrial(spec, pt, sys, res)
+			missed, ok := simTrial(spec, pt, sys, res, reg)
 			if ok && missed && rep.SchedulableResponse {
 				res.SimMissedAdmitted++
 			}
@@ -143,7 +146,7 @@ func simProtocol(spec *Spec, pt Point) (sim.Protocol, error) {
 // simTrial runs one confirmation simulation under the point's tick
 // budget. It reports whether the run missed a deadline and whether the
 // run completed at all.
-func simTrial(spec *Spec, pt Point, sys *task.System, res *PointResult) (missed, ok bool) {
+func simTrial(spec *Spec, pt Point, sys *task.System, res *PointResult, reg *obs.Registry) (missed, ok bool) {
 	proto, err := simProtocol(spec, pt)
 	if err != nil {
 		res.SimFailed++
@@ -165,6 +168,7 @@ func simTrial(spec *Spec, pt Point, sys *task.System, res *PointResult) (missed,
 		return false, false
 	}
 	res.Simulated++
+	obs.CollectSimSpeed(reg, r.Horizon, r.TicksSkipped)
 	if r.AnyMiss {
 		res.SimMisses++
 	}

@@ -79,8 +79,8 @@ func TestRunPointRepeatable(t *testing.T) {
 	spec := testSpec()
 	anyBlocking := false
 	for _, pt := range spec.Points() {
-		base := runPoint(spec, pt)
-		again := runPoint(spec, pt)
+		base := runPoint(spec, pt, nil)
+		again := runPoint(spec, pt, nil)
 		if !reflect.DeepEqual(base, again) {
 			t.Errorf("point %s: repeated evaluation differs:\n%+v\nvs\n%+v", pt.Key, base, again)
 		}

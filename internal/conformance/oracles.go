@@ -47,14 +47,22 @@ func (c *trialCtx) runFor(name string) *runOut {
 // run returns the trial protocol's own run.
 func (c *trialCtx) run() *runOut { return c.runFor(c.protocol) }
 
-// simulate performs one traced run with retained jobs.
+// simulate performs one traced run with retained jobs, on the default
+// (event-horizon fast path) stepper.
 func simulate(name string, sys *task.System, horizon int) *runOut {
+	return simulateCfg(name, sys, sim.Config{Horizon: horizon, RetainJobs: true})
+}
+
+// simulateCfg is simulate with an explicit engine configuration; the
+// trace log is always attached fresh.
+func simulateCfg(name string, sys *task.System, cfg sim.Config) *runOut {
 	p, err := makeProtocol(name, sys)
 	if err != nil {
 		return &runOut{err: err}
 	}
 	log := trace.New()
-	e, err := sim.New(sys, p, sim.Config{Horizon: horizon, Trace: log, RetainJobs: true})
+	cfg.Trace = log
+	e, err := sim.New(sys, p, cfg)
 	if err != nil {
 		return &runOut{err: err}
 	}
@@ -104,6 +112,7 @@ func catalog() []oracle {
 	return []oracle{
 		{name: "run", applies: anyProtocol, check: checkRun},
 		{name: "determinism", applies: anyProtocol, check: checkDeterminism},
+		{name: "fast-path", applies: anyProtocol, check: checkFastPath},
 		{name: "invariants", applies: anyProtocol, check: checkInvariants},
 		{name: "gcs-preemption",
 			applies: func(p string, _ *task.System) bool {
@@ -165,6 +174,47 @@ func checkDeterminism(c *trialCtx) []string {
 	}
 	if !reflect.DeepEqual(r1.res.Stats, r2.res.Stats) {
 		out = append(out, "statistics differ between identical runs")
+	}
+	return out
+}
+
+// checkFastPath: the event-horizon fast path (the default stepper, used
+// by the memoized trial run) must be observationally identical to the
+// single-tick reference stepper — same event log, same execution matrix,
+// same statistics and verdicts. Only Result.TicksSkipped may differ; it
+// is the fast path's own odometer.
+func checkFastPath(c *trialCtx) []string {
+	fast := c.run()
+	if fast.err != nil {
+		return nil
+	}
+	ref := simulateCfg(c.protocol, c.sys, sim.Config{
+		Horizon: c.horizon, RetainJobs: true, ReferenceStepper: true,
+	})
+	if ref.err != nil {
+		return []string{fmt.Sprintf("reference-stepper run failed: %v", ref.err)}
+	}
+	var out []string
+	if !reflect.DeepEqual(fast.log.Events, ref.log.Events) {
+		out = append(out, "event logs differ between fast path and reference stepper")
+	}
+	if !reflect.DeepEqual(fast.log.Execs, ref.log.Execs) {
+		out = append(out, "execution matrices differ between fast path and reference stepper")
+	}
+	if !reflect.DeepEqual(fast.res.Stats, ref.res.Stats) {
+		out = append(out, "statistics differ between fast path and reference stepper")
+	}
+	if !reflect.DeepEqual(fast.res.Procs, ref.res.Procs) {
+		out = append(out, "processor statistics differ between fast path and reference stepper")
+	}
+	if fast.res.AnyMiss != ref.res.AnyMiss || fast.res.Deadlock != ref.res.Deadlock ||
+		fast.res.DeadlockAt != ref.res.DeadlockAt {
+		out = append(out, fmt.Sprintf("verdicts differ: fast miss=%v deadlock=%v@%d, reference miss=%v deadlock=%v@%d",
+			fast.res.AnyMiss, fast.res.Deadlock, fast.res.DeadlockAt,
+			ref.res.AnyMiss, ref.res.Deadlock, ref.res.DeadlockAt))
+	}
+	if ref.res.TicksSkipped != 0 {
+		out = append(out, fmt.Sprintf("reference stepper reported %d skipped ticks, want 0", ref.res.TicksSkipped))
 	}
 	return out
 }

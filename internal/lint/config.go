@@ -32,8 +32,9 @@ func (s Scoped) Applies(importPath string) bool {
 // Scopes mirror the contracts, not the whole tree:
 //
 //   - determinism guards the deterministic result path: the tick
-//     simulator, the conformance engine, the campaign engine and the
-//     workload generators. The campaign worker pool (pool.go) is the
+//     simulator and its release queue, the conformance engine, the
+//     campaign engine and the workload generators. The campaign worker
+//     pool (pool.go) is the
 //     one blessed fan-out point; its collector serializes results back
 //     into spec order, which the byte-identical-across-workers tests
 //     verify at runtime.
@@ -52,6 +53,7 @@ func DefaultSuite() []Scoped {
 			Analyzer: NewDeterminism(DeterminismConfig{AllowGoroutinesIn: []string{"pool.go"}}),
 			Prefixes: []string{
 				"mpcp/internal/sim",
+				"mpcp/internal/relq",
 				"mpcp/internal/conformance",
 				"mpcp/internal/campaign",
 				"mpcp/internal/workload",

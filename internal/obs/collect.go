@@ -89,6 +89,29 @@ func CollectTrace(reg *Registry, l *trace.Log, sys *task.System, endTick int) {
 	}
 }
 
+// CollectSimSpeed exports the event-horizon fast path's effectiveness for
+// one run: the sim_ticks_skipped counter accumulates the ticks synthesized
+// in bulk (across runs, for campaign-level totals), sim_ticks_total the
+// ticks covered, and the sim_speedup_ratio gauge holds the last run's
+// ratio of simulated ticks to individually stepped ticks (1.0 means the
+// fast path never engaged, e.g. under Config.ReferenceStepper).
+func CollectSimSpeed(reg *Registry, horizon, skipped int) {
+	if horizon <= 0 {
+		return
+	}
+	if skipped < 0 {
+		skipped = 0
+	}
+	reg.Counter("sim_ticks_total").Add(int64(horizon))
+	reg.Counter("sim_ticks_skipped").Add(int64(skipped))
+	stepped := horizon - skipped
+	ratio := 1.0
+	if stepped > 0 {
+		ratio = float64(horizon) / float64(stepped)
+	}
+	reg.Gauge("sim_speedup_ratio").Set(ratio)
+}
+
 // CollectAttribution exports an attribution report into the registry:
 // per-task, per-category blocking tick counters and the worst single-job
 // blocking gauge.

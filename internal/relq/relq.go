@@ -1,0 +1,106 @@
+// Package relq provides the release calendar of the simulator: a
+// deterministic binary min-heap of scheduled task releases ordered by
+// (time, task index). It replaces the engine's historical per-tick scan
+// over every task — with the heap the engine pays O(log n) per release
+// instead of O(n) per tick, and the event-horizon fast path can read the
+// next release time in O(1) to bound how far it may jump.
+//
+// Determinism contract: Pop order is a pure function of the Push
+// multiset. Entries are ordered by Time, ties broken by ascending Idx,
+// which reproduces exactly the order the old scan released jobs in (task
+// index order within one tick). The package is scoped under the rtvet
+// determinism analyzer like the rest of the simulation path.
+package relq
+
+// Entry is one scheduled release: the tick it is due and the dense task
+// index it belongs to.
+type Entry struct {
+	Time int
+	Idx  int
+}
+
+// less orders entries lexicographically by (Time, Idx).
+func less(a, b Entry) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.Idx < b.Idx
+}
+
+// Queue is a min-heap of release entries. The zero value is an empty
+// queue ready for use. It is not safe for concurrent use; the simulator
+// is single-threaded by design.
+type Queue struct {
+	h []Entry
+}
+
+// Len returns the number of queued entries.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push schedules an entry.
+func (q *Queue) Push(e Entry) {
+	q.h = append(q.h, e)
+	q.up(len(q.h) - 1)
+}
+
+// Peek returns the earliest entry without removing it.
+func (q *Queue) Peek() (Entry, bool) {
+	if len(q.h) == 0 {
+		return Entry{}, false
+	}
+	return q.h[0], true
+}
+
+// NextTime returns the earliest scheduled time, or ok=false when empty.
+// The fast path uses it to bound a jump without popping.
+func (q *Queue) NextTime() (int, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].Time, true
+}
+
+// Pop removes and returns the earliest entry.
+func (q *Queue) Pop() (Entry, bool) {
+	if len(q.h) == 0 {
+		return Entry{}, false
+	}
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top, true
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(q.h[i], q.h[parent]) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && less(q.h[l], q.h[smallest]) {
+			smallest = l
+		}
+		if r < n && less(q.h[r], q.h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.h[i], q.h[smallest] = q.h[smallest], q.h[i]
+		i = smallest
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 
+	"mpcp/internal/relq"
 	"mpcp/internal/task"
 	"mpcp/internal/trace"
 )
@@ -80,6 +81,16 @@ type Config struct {
 	// suspended jobs remain (which can never recover). Defaults on; the
 	// field disables it when set.
 	KeepRunningOnDeadlock bool
+
+	// ReferenceStepper disables the event-horizon fast path: every Step
+	// advances exactly one tick through the full release/settle/dispatch/
+	// accounting loop. This is the reference engine the fast path is
+	// differentially checked against (internal/conformance's "fast-path"
+	// oracle and docs/simulator.md's equivalence argument); it is also the
+	// right mode for interactive tick-by-tick stepping. The default (fast
+	// path) produces byte-identical traces and statistics, it merely
+	// synthesizes quiet stretches in bulk.
+	ReferenceStepper bool
 }
 
 // Result summarizes a run.
@@ -95,6 +106,12 @@ type Result struct {
 	Procs []*ProcStats // indexed by processor
 	Jobs  []*Job       // populated when Config.RetainJobs
 	Trace *trace.Log
+
+	// TicksSkipped counts the ticks the event-horizon fast path
+	// synthesized in bulk instead of stepping individually. It is always 0
+	// under Config.ReferenceStepper; every other field is identical
+	// between the two steppers.
+	TicksSkipped int
 }
 
 // MaxMeasuredBlocking returns the largest per-job measured blocking
@@ -147,13 +164,13 @@ type Engine struct {
 	proto Protocol
 	cfg   Config
 
-	now     int
-	procs   []*Job // running job per processor (nil = idle this tick)
-	active  []*Job // released, unfinished jobs (including agents)
-	nextRel []int  // per-task next release time
-	nextIdx []int  // per-task next instance index
-	taskIx  map[task.ID]int
-	seq     uint64
+	now      int
+	procs    []*Job     // running job per processor (nil = idle this tick)
+	active   []*Job     // released, unfinished jobs (including agents)
+	releases relq.Queue // calendar of pending releases, (time, task index)
+	nextIdx  []int      // per-task next instance index
+	taskIx   map[task.ID]int
+	seq      uint64
 
 	log      *trace.Log
 	sink     trace.Sink
@@ -196,11 +213,12 @@ func New(sys *task.System, proto Protocol, cfg Config) (*Engine, error) {
 	for i := range e.result.Procs {
 		e.result.Procs[i] = &ProcStats{}
 	}
-	e.nextRel = make([]int, len(sys.Tasks))
 	e.nextIdx = make([]int, len(sys.Tasks))
 	for i, t := range sys.Tasks {
 		e.taskIx[t.ID] = i
-		e.nextRel[i] = t.Offset
+		if t.Offset < cfg.Horizon {
+			e.releases.Push(relq.Entry{Time: t.Offset, Idx: i})
+		}
 		e.result.Stats[t.ID] = &TaskStats{}
 	}
 	if err := proto.Init(e); err != nil {
@@ -283,6 +301,9 @@ func (e *Engine) Step() (done bool, err error) {
 		stop = true
 	}
 	e.now++
+	if !stop && !e.cfg.ReferenceStepper && e.now < e.cfg.Horizon && e.sinkErr == nil {
+		e.coast()
+	}
 	if stop || e.now >= e.cfg.Horizon {
 		return e.finishRun()
 	}
@@ -310,35 +331,45 @@ func (e *Engine) finishRun() (bool, error) {
 // Steps; after the run completes it is the final result.
 func (e *Engine) Result() *Result { return e.result }
 
-// releaseJobs creates the jobs whose release time is now.
+// releaseJobs creates the jobs whose release time is now, popping them
+// off the release calendar. Entries are ordered (time, task index), which
+// matches the task-index order the historical per-tick scan released jobs
+// in, so traces are unchanged.
 func (e *Engine) releaseJobs() {
-	for i, t := range e.sys.Tasks {
-		for e.nextRel[i] <= e.now && e.nextRel[i] < e.cfg.Horizon {
-			j := &Job{
-				Task:        t,
-				Index:       e.nextIdx[i],
-				Release:     e.nextRel[i],
-				AbsDeadline: e.nextRel[i] + t.RelativeDeadline(),
-				Proc:        t.Proc,
-				Body:        t.Body,
-				BasePrio:    t.Priority,
-				EffPrio:     t.Priority,
-				State:       StateReady,
-				readySeq:    e.nextSeq(),
-			}
-			if len(j.Body) > 0 && j.Body[0].Kind == task.SegCompute {
-				j.SegLeft = j.Body[0].Duration
-			}
-			e.nextIdx[i]++
-			e.nextRel[i] += t.Period
-			e.active = append(e.active, j)
-			e.result.Stats[t.ID].Released++
-			if e.cfg.RetainJobs {
-				e.result.Jobs = append(e.result.Jobs, j)
-			}
-			e.emit(trace.Event{Time: e.now, Kind: trace.EvRelease, Task: t.ID, Job: j.Index, Proc: t.Proc})
-			e.proto.OnRelease(e, j)
+	for {
+		ent, ok := e.releases.Peek()
+		if !ok || ent.Time > e.now {
+			return
 		}
+		e.releases.Pop()
+		i := ent.Idx
+		t := e.sys.Tasks[i]
+		j := &Job{
+			Task:        t,
+			Index:       e.nextIdx[i],
+			Release:     ent.Time,
+			AbsDeadline: ent.Time + t.RelativeDeadline(),
+			Proc:        t.Proc,
+			Body:        t.Body,
+			BasePrio:    t.Priority,
+			EffPrio:     t.Priority,
+			State:       StateReady,
+			readySeq:    e.nextSeq(),
+		}
+		if len(j.Body) > 0 && j.Body[0].Kind == task.SegCompute {
+			j.SegLeft = j.Body[0].Duration
+		}
+		e.nextIdx[i]++
+		if next := ent.Time + t.Period; next < e.cfg.Horizon {
+			e.releases.Push(relq.Entry{Time: next, Idx: i})
+		}
+		e.active = append(e.active, j)
+		e.result.Stats[t.ID].Released++
+		if e.cfg.RetainJobs {
+			e.result.Jobs = append(e.result.Jobs, j)
+		}
+		e.emit(trace.Event{Time: e.now, Kind: trace.EvRelease, Task: t.ID, Job: j.Index, Proc: t.Proc})
+		e.proto.OnRelease(e, j)
 	}
 }
 

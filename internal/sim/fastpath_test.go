@@ -1,0 +1,182 @@
+package sim_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mpcp/internal/core"
+	"mpcp/internal/dpcp"
+	"mpcp/internal/proto"
+	"mpcp/internal/sim"
+	"mpcp/internal/task"
+	"mpcp/internal/trace"
+	"mpcp/internal/workload"
+)
+
+// runBoth executes the same system/protocol twice — fast path and
+// reference stepper — with full traces and retained jobs.
+func runBoth(t *testing.T, sys *task.System, mk func() sim.Protocol, cfg sim.Config) (fast, ref *sim.Result) {
+	t.Helper()
+	one := func(reference bool) *sim.Result {
+		c := cfg
+		c.Trace = trace.New()
+		c.RetainJobs = true
+		c.ReferenceStepper = reference
+		e, err := sim.New(sys, mk(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	return one(false), one(true)
+}
+
+// diffRuns compares everything the two steppers must agree on: the event
+// log, the execution matrix (byte-for-byte via the stable JSON export),
+// statistics, processor counters and verdicts. TicksSkipped is the one
+// intentional difference.
+func diffRuns(t *testing.T, fast, ref *sim.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(fast.Trace.Events, ref.Trace.Events) {
+		t.Error("event logs differ")
+	}
+	if !reflect.DeepEqual(fast.Trace.Execs, ref.Trace.Execs) {
+		t.Error("execution matrices differ")
+	}
+	var bFast, bRef bytes.Buffer
+	if err := fast.Trace.WriteJSON(&bFast); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Trace.WriteJSON(&bRef); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bFast.Bytes(), bRef.Bytes()) {
+		t.Error("serialized traces are not byte-identical")
+	}
+	if !reflect.DeepEqual(fast.Stats, ref.Stats) {
+		t.Errorf("statistics differ: fast %+v, ref %+v", fast.Stats, ref.Stats)
+	}
+	if !reflect.DeepEqual(fast.Procs, ref.Procs) {
+		t.Error("processor statistics differ")
+	}
+	if fast.AnyMiss != ref.AnyMiss || fast.Deadlock != ref.Deadlock || fast.DeadlockAt != ref.DeadlockAt {
+		t.Errorf("verdicts differ: fast miss=%v dl=%v@%d, ref miss=%v dl=%v@%d",
+			fast.AnyMiss, fast.Deadlock, fast.DeadlockAt, ref.AnyMiss, ref.Deadlock, ref.DeadlockAt)
+	}
+	if ref.TicksSkipped != 0 {
+		t.Errorf("reference stepper skipped %d ticks, want 0", ref.TicksSkipped)
+	}
+}
+
+// TestFastPathMatchesReference is the in-package differential: generated
+// workloads under suspension-based MPCP, spin-based MPCP, DPCP (agents)
+// and raw semaphores must produce byte-identical traces on both steppers.
+func TestFastPathMatchesReference(t *testing.T) {
+	protos := []struct {
+		name string
+		mk   func() sim.Protocol
+	}{
+		{"mpcp", func() sim.Protocol { return core.New(core.Options{}) }},
+		{"mpcp-spin", func() sim.Protocol { return core.New(core.Options{Wait: core.Spin}) }},
+		{"dpcp", func() sim.Protocol { return dpcp.New(dpcp.Options{}) }},
+		{"none", func() sim.Protocol { return proto.NewNone(proto.FIFOOrder) }},
+	}
+	for _, p := range protos {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 12; seed++ {
+				sys := genSys(t, seed)
+				fast, ref := runBoth(t, sys, p.mk, sim.Config{})
+				diffRuns(t, fast, ref)
+			}
+		})
+	}
+}
+
+// TestFastPathSkipsAtSparseUtilization: at low utilization almost every
+// tick is quiet, so the fast path must synthesize the bulk of the run.
+func TestFastPathSkipsAtSparseUtilization(t *testing.T) {
+	cfg := workload.Default(7)
+	cfg.NumProcs = 3
+	cfg.TasksPerProc = 3
+	cfg.UtilPerProc = 0.08
+	sys, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, ref := runBoth(t, sys, func() sim.Protocol { return core.New(core.Options{}) }, sim.Config{})
+	diffRuns(t, fast, ref)
+	if fast.TicksSkipped <= fast.Horizon/2 {
+		t.Errorf("skipped %d of %d ticks at 8%% utilization, want more than half", fast.TicksSkipped, fast.Horizon)
+	}
+}
+
+// TestFastPathStopOnMiss: the deadline boundary must make the fast path
+// stop on exactly the tick the reference stepper stops on.
+func TestFastPathStopOnMiss(t *testing.T) {
+	sys := task.NewSystem(1)
+	// One task overloads its processor after the second release.
+	sys.AddTask(&task.Task{ID: 1, Proc: 0, Period: 10, Deadline: 6, Priority: 1,
+		Body: []task.Segment{task.Compute(7)}})
+	if err := sys.Validate(task.ValidateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	fast, ref := runBoth(t, sys, func() sim.Protocol { return proto.NewNone(proto.FIFOOrder) },
+		sim.Config{Horizon: 100, StopOnMiss: true})
+	diffRuns(t, fast, ref)
+	if !fast.AnyMiss {
+		t.Fatal("expected a deadline miss")
+	}
+}
+
+// TestFastPathDeadlock: opposite-order nested acquisition under raw
+// semaphores deadlocks; both steppers must detect it at the same tick.
+func TestFastPathDeadlock(t *testing.T) {
+	const s1, s2 = task.SemID(1), task.SemID(2)
+	sys := task.NewSystem(2)
+	sys.AddSem(&task.Semaphore{ID: s1})
+	sys.AddSem(&task.Semaphore{ID: s2})
+	sys.AddTask(&task.Task{ID: 1, Proc: 0, Period: 100, Priority: 2,
+		Body: []task.Segment{task.Lock(s1), task.Compute(2), task.Lock(s2), task.Compute(1), task.Unlock(s2), task.Unlock(s1)}})
+	sys.AddTask(&task.Task{ID: 2, Proc: 1, Period: 100, Priority: 1,
+		Body: []task.Segment{task.Lock(s2), task.Compute(2), task.Lock(s1), task.Compute(1), task.Unlock(s1), task.Unlock(s2)}})
+	if err := sys.Validate(task.ValidateOptions{AllowNestedGlobal: true}); err != nil {
+		t.Fatal(err)
+	}
+	fast, ref := runBoth(t, sys, func() sim.Protocol { return proto.NewNone(proto.FIFOOrder) },
+		sim.Config{Horizon: 50})
+	diffRuns(t, fast, ref)
+	if !fast.Deadlock {
+		t.Fatal("expected deadlock detection")
+	}
+}
+
+// TestFastPathStreamIdentical: the JSONL stream a sink sees must also be
+// byte-identical between the steppers (records arrive in the same order,
+// not just end up equal in the buffered log).
+func TestFastPathStreamIdentical(t *testing.T) {
+	sys := genSys(t, 5)
+	stream := func(reference bool) []byte {
+		var buf bytes.Buffer
+		sink := trace.NewStreamSink(&buf)
+		e, err := sim.New(sys, core.New(core.Options{}), sim.Config{Sink: sink, ReferenceStepper: reference})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(stream(false), stream(true)) {
+		t.Error("streamed traces are not byte-identical")
+	}
+}

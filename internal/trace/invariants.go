@@ -30,6 +30,27 @@ func CheckInvariants(l *Log, numProcs int) []Violation {
 	return append(out, CheckWorkConservation(l, numProcs)...)
 }
 
+// Method forms of the invariant checkers, mirroring the rest of the Log
+// API (Summary, Gantt, WriteJSON). The facade package exposes traces as
+// *Log aliases, so these are what external callers reach for; the
+// package-level functions above remain for internal call sites.
+
+// CheckInvariants is the method form of the package-level CheckInvariants.
+func (l *Log) CheckInvariants(numProcs int) []Violation { return CheckInvariants(l, numProcs) }
+
+// CheckMutex is the method form of the package-level CheckMutex.
+func (l *Log) CheckMutex() []Violation { return CheckMutex(l) }
+
+// CheckGcsPreemption is the method form of the package-level
+// CheckGcsPreemption.
+func (l *Log) CheckGcsPreemption(numProcs int) []Violation { return CheckGcsPreemption(l, numProcs) }
+
+// CheckWorkConservation is the method form of the package-level
+// CheckWorkConservation.
+func (l *Log) CheckWorkConservation(numProcs int) []Violation {
+	return CheckWorkConservation(l, numProcs)
+}
+
 // CheckMutex verifies that no semaphore is ever held by two jobs at once,
 // reconstructing ownership from lock/unlock events. Grant events follow a
 // lock handover and are informational; ownership transfer is encoded as

@@ -1,0 +1,261 @@
+package mpcp_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mpcp"
+)
+
+// traceBytes serializes a trace through the stable JSON export.
+func traceBytes(t *testing.T, tr *mpcp.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSessionRunMatchesSimulate: Simulate is a wrapper over Start+Run, so
+// the two entry points must produce byte-identical traces and equal
+// statistics.
+func TestSessionRunMatchesSimulate(t *testing.T) {
+	sys := buildTwoProc(t)
+
+	tr1 := mpcp.NewTrace()
+	res1, err := mpcp.Simulate(sys, mpcp.MPCP(), mpcp.WithTrace(tr1), mpcp.WithJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := mpcp.Start(sys, mpcp.MPCP(), mpcp.WithTrace(mpcp.NewTrace()), mpcp.WithJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(traceBytes(t, tr1), traceBytes(t, sess.Trace())) {
+		t.Error("Simulate and Session.Run traces are not byte-identical")
+	}
+	if !reflect.DeepEqual(res1.Stats, res2.Stats) {
+		t.Error("Simulate and Session.Run statistics differ")
+	}
+	if res1.Horizon != res2.Horizon || res1.AnyMiss != res2.AnyMiss {
+		t.Error("Simulate and Session.Run verdicts differ")
+	}
+	if sess.Result() != res2 {
+		t.Error("Session.Result does not return the run result")
+	}
+}
+
+// TestSessionInteractiveStep: with the reference stepper a Session steps
+// one tick at a time, with Now and Result readable between steps — the
+// interactive mode the facade exists for.
+func TestSessionInteractiveStep(t *testing.T) {
+	sys := buildTwoProc(t)
+	const horizon = 50
+	sess, err := mpcp.Start(sys, mpcp.MPCP(),
+		mpcp.WithHorizon(horizon), mpcp.WithReferenceStepper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Now() != 0 {
+		t.Errorf("Now before first step = %d, want 0", sess.Now())
+	}
+	steps := 0
+	for {
+		done, err := sess.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if steps == 10 {
+			if sess.Now() != 10 {
+				t.Errorf("Now after 10 steps = %d, want 10", sess.Now())
+			}
+			if sess.Result() == nil {
+				t.Fatal("Result unavailable mid-run")
+			}
+		}
+		if done {
+			break
+		}
+	}
+	if steps != horizon {
+		t.Errorf("steps = %d, want %d under WithReferenceStepper", steps, horizon)
+	}
+	if got := sess.Result().TicksSkipped; got != 0 {
+		t.Errorf("reference stepper skipped %d ticks, want 0", got)
+	}
+	// A sealed session's Step stays done without error.
+	if done, err := sess.Step(); !done || err != nil {
+		t.Errorf("sealed Step = %v, %v", done, err)
+	}
+}
+
+// TestSessionFastPathDefault: without WithReferenceStepper the session
+// uses the event-horizon fast path — same results, fewer Steps, a
+// non-zero skipped-ticks odometer on this mostly idle workload.
+func TestSessionFastPathDefault(t *testing.T) {
+	sys := buildTwoProc(t)
+
+	ref, err := mpcp.Simulate(sys, mpcp.MPCP(), mpcp.WithReferenceStepper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := mpcp.Simulate(sys, mpcp.MPCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fast.Stats, ref.Stats) {
+		t.Error("fast path and reference statistics differ")
+	}
+	if fast.TicksSkipped == 0 {
+		t.Error("fast path skipped no ticks on a mostly idle hyperperiod")
+	}
+	if ref.TicksSkipped != 0 {
+		t.Errorf("reference skipped %d ticks, want 0", ref.TicksSkipped)
+	}
+}
+
+// TestSessionMetrics: WithMetrics surfaces the fast-path odometer and,
+// with a trace attached, the trace-derived metric families.
+func TestSessionMetrics(t *testing.T) {
+	sys := buildTwoProc(t)
+	reg := mpcp.NewMetricsRegistry()
+	sess, err := mpcp.Start(sys, mpcp.MPCP(),
+		mpcp.WithTrace(mpcp.NewTrace()), mpcp.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Metrics() != reg {
+		t.Fatal("Metrics does not return the configured registry")
+	}
+	if got := reg.Counter("sim_ticks_total").Value(); got != int64(res.Horizon) {
+		t.Errorf("sim_ticks_total = %d, want %d", got, res.Horizon)
+	}
+	if got := reg.Counter("sim_ticks_skipped").Value(); got != int64(res.TicksSkipped) {
+		t.Errorf("sim_ticks_skipped = %d, want %d", got, res.TicksSkipped)
+	}
+	if ratio := reg.Gauge("sim_speedup_ratio").Value(); ratio <= 1.0 {
+		t.Errorf("sim_speedup_ratio = %v, want > 1 on a mostly idle hyperperiod", ratio)
+	}
+	snap := reg.Snapshot()
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "proc_busy_ticks{proc=0}" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("trace-derived metrics missing from the registry")
+	}
+}
+
+// TestSessionSink: WithSink streams the trace; the reassembled stream
+// must equal the buffered log.
+func TestSessionSink(t *testing.T) {
+	sys := buildTwoProc(t)
+	var buf bytes.Buffer
+	sink := mpcp.NewStreamSink(&buf)
+	sess, err := mpcp.Start(sys, mpcp.MPCP(),
+		mpcp.WithTrace(mpcp.NewTrace()), mpcp.WithSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := mpcp.ReadTraceStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceBytes(t, streamed), traceBytes(t, sess.Trace())) {
+		t.Error("streamed trace differs from the buffered log")
+	}
+}
+
+// TestSessionTraceNilWithoutWithTrace: a session without WithTrace
+// reports no trace rather than a disabled placeholder log.
+func TestSessionTraceNilWithoutWithTrace(t *testing.T) {
+	sess, err := mpcp.Start(buildTwoProc(t), mpcp.MPCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Trace() != nil {
+		t.Error("Trace() non-nil without WithTrace")
+	}
+}
+
+// TestDeprecatedAliases pins every deprecated facade name to its
+// replacement: same behavior, byte-identical output.
+func TestDeprecatedAliases(t *testing.T) {
+	sys := buildTwoProc(t)
+
+	// Analysis option renames.
+	oldD, err := mpcp.BlockingBounds(sys, mpcp.ForDPCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newD, err := mpcp.BlockingBounds(sys, mpcp.WithDPCPAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldD, newD) {
+		t.Error("ForDPCP and WithDPCPAnalysis bounds differ")
+	}
+	oldC, err := mpcp.BlockingBounds(sys, mpcp.AnalyzeGcsAtCeiling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newC, err := mpcp.BlockingBounds(sys, mpcp.WithGcsAtCeilingAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldC, newC) {
+		t.Error("AnalyzeGcsAtCeiling and WithGcsAtCeilingAnalysis bounds differ")
+	}
+
+	// Package-level trace helpers vs Trace methods.
+	tr := mpcp.NewTrace()
+	if _, err := mpcp.Simulate(sys, mpcp.MPCP(), mpcp.WithTrace(tr)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mpcp.CheckMutex(tr), tr.CheckMutex()) {
+		t.Error("CheckMutex alias diverges from the method")
+	}
+	if !reflect.DeepEqual(mpcp.CheckGcsPreemption(tr, sys.NumProcs), tr.CheckGcsPreemption(sys.NumProcs)) {
+		t.Error("CheckGcsPreemption alias diverges from the method")
+	}
+	if mpcp.TraceSummary(tr) != tr.Summary() {
+		t.Error("TraceSummary alias diverges from the method")
+	}
+	if mpcp.Gantt(tr, sys, 0, 40) != tr.Gantt(sys, 0, 40) {
+		t.Error("Gantt alias diverges from the method")
+	}
+	var a, b bytes.Buffer
+	if err := mpcp.WriteTraceJSON(tr, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("WriteTraceJSON alias diverges from the method")
+	}
+}

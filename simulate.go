@@ -3,6 +3,7 @@ package mpcp
 import (
 	"io"
 
+	"mpcp/internal/obs"
 	"mpcp/internal/sim"
 	"mpcp/internal/trace"
 )
@@ -21,72 +22,130 @@ type (
 	TraceEvent = trace.Event
 	// Violation is a failed invariant check over a Trace.
 	Violation = trace.Violation
+	// TraceSink receives trace records as they are produced (see
+	// WithSink); the JSONL streaming sink lives in NewStreamSink.
+	TraceSink = trace.Sink
+	// MetricsRegistry collects named counters, gauges and histograms over
+	// a run (see WithMetrics). The zero of the type is not useful; create
+	// one with NewMetricsRegistry.
+	MetricsRegistry = obs.Registry
 )
 
-// SimOption configures Simulate.
-type SimOption func(*sim.Config)
+// simSettings is the resolved configuration of a Session: the engine
+// config plus the facade-level extras (metrics registry).
+type simSettings struct {
+	cfg     sim.Config
+	metrics *obs.Registry
+}
+
+// SimOption configures Start and Simulate.
+type SimOption func(*simSettings)
 
 // WithHorizon sets the number of ticks to simulate. The default is one
 // hyperperiod past the largest release offset.
 func WithHorizon(ticks int) SimOption {
-	return func(c *sim.Config) { c.Horizon = ticks }
+	return func(s *simSettings) { s.cfg.Horizon = ticks }
 }
 
 // WithTrace records the full event log and execution matrix into log.
 func WithTrace(log *Trace) SimOption {
-	return func(c *sim.Config) { c.Trace = log }
+	return func(s *simSettings) { s.cfg.Trace = log }
 }
 
 // WithJobs retains every job instance in the result for per-job
 // inspection.
 func WithJobs() SimOption {
-	return func(c *sim.Config) { c.RetainJobs = true }
+	return func(s *simSettings) { s.cfg.RetainJobs = true }
 }
 
 // WithStopOnMiss aborts the run at the first deadline miss.
 func WithStopOnMiss() SimOption {
-	return func(c *sim.Config) { c.StopOnMiss = true }
+	return func(s *simSettings) { s.cfg.StopOnMiss = true }
+}
+
+// WithSink streams every trace record to sink as it is produced, in
+// addition to (and independently of) WithTrace. A streaming sink lets
+// long-horizon runs emit a full trace without buffering it in memory;
+// a sink write error aborts the run. The session never closes the sink.
+func WithSink(sink TraceSink) SimOption {
+	return func(s *simSettings) { s.cfg.Sink = sink }
+}
+
+// WithMetrics attaches a metrics registry to the session. On completion
+// the session records the run's fast-path effectiveness
+// (sim_ticks_skipped, sim_ticks_total, sim_speedup_ratio) and, when a
+// trace log is attached, the full trace-derived metric set (response-time
+// histograms, semaphore wait/hold times, processor utilization).
+func WithMetrics(reg *MetricsRegistry) SimOption {
+	return func(s *simSettings) { s.metrics = reg }
+}
+
+// WithReferenceStepper disables the event-horizon fast path: every Step
+// advances exactly one tick. This is the reference engine the fast path
+// is differentially tested against, and the natural mode for interactive
+// tick-by-tick stepping with Session.Step. Results and traces are
+// identical either way; only speed and Result.TicksSkipped differ.
+func WithReferenceStepper() SimOption {
+	return func(s *simSettings) { s.cfg.ReferenceStepper = true }
 }
 
 // NewTrace returns an empty trace log for WithTrace.
 func NewTrace() *Trace { return trace.New() }
 
+// NewMetricsRegistry returns an empty registry for WithMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewStreamSink returns a TraceSink writing the JSONL stream format to w
+// (one record per line, replayable with ReadTraceStream).
+func NewStreamSink(w io.Writer) *trace.StreamSink { return trace.NewStreamSink(w) }
+
+// ReadTraceStream reassembles a Trace from a JSONL stream produced by
+// NewStreamSink.
+func ReadTraceStream(r io.Reader) (*Trace, error) { return trace.ReadStream(r) }
+
 // Simulate runs sys under protocol p and returns the per-task statistics.
-// The system must have been built (or revalidated) successfully.
+// The system must have been built (or revalidated) successfully. It is a
+// thin wrapper over Start + Session.Run.
 func Simulate(sys *System, p Protocol, opts ...SimOption) (*SimResult, error) {
-	var cfg sim.Config
-	for _, opt := range opts {
-		opt(&cfg)
-	}
-	e, err := sim.New(sys, p, cfg)
+	s, err := Start(sys, p, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run()
+	return s.Run()
 }
 
 // CheckMutex verifies mutual exclusion over a recorded trace.
-func CheckMutex(log *Trace) []Violation { return trace.CheckMutex(log) }
+//
+// Deprecated: use the Trace method: log.CheckMutex().
+func CheckMutex(log *Trace) []Violation { return log.CheckMutex() }
 
 // CheckGcsPreemption verifies that no global critical section was
 // preempted by non-critical code (the mechanism behind Theorem 2).
+//
+// Deprecated: use the Trace method: log.CheckGcsPreemption(numProcs).
 func CheckGcsPreemption(log *Trace, numProcs int) []Violation {
-	return trace.CheckGcsPreemption(log, numProcs)
+	return log.CheckGcsPreemption(numProcs)
 }
 
 // TraceSummary returns per-kind event counts and execution totals of a
 // recorded trace.
+//
+// Deprecated: use the Trace method: log.Summary().
 func TraceSummary(log *Trace) string { return log.Summary() }
 
 // Gantt renders a per-processor execution chart of a recorded trace
 // between the given ticks ('G' marks global critical sections, 'L' local
 // ones).
+//
+// Deprecated: use the Trace method: log.Gantt(sys, from, to).
 func Gantt(log *Trace, sys *System, from, to int) string {
 	return log.Gantt(sys, from, to)
 }
 
 // WriteTraceJSON serializes a recorded trace in the stable JSON format
 // (for external plotting or diffing tools).
+//
+// Deprecated: use the Trace method: log.WriteJSON(w).
 func WriteTraceJSON(log *Trace, w io.Writer) error { return log.WriteJSON(w) }
 
 // ReadTraceJSON loads a trace written by WriteTraceJSON.
