@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json bench-sim repro repro-verify sweep sweep-smoke metrics-demo check check-smoke fuzz vet rtvet fmt lint cover clean
+.PHONY: all build test test-short bench bench-json bench-sim bench-sweep repro repro-verify sweep sweep-smoke sweepd-smoke metrics-demo check check-smoke fuzz vet rtvet fmt lint cover clean
 
 all: build test
 
@@ -34,6 +34,19 @@ sweep:
 # Tiny 2-point campaign as a fast gate (CI runs the same spec).
 sweep-smoke:
 	$(GO) run ./cmd/rtsweep -spec cmd/rtsweep/testdata/smoke.json -quiet
+
+# Distributed-sweep gate (CI runs this): a real rtsweepd coordinator
+# plus two worker loops over loopback HTTP under the race detector,
+# checking byte-identity against a single-process run and the ops
+# endpoint (docs/distributed.md).
+sweepd-smoke:
+	$(GO) test -race -count=1 -run 'TestSweepdEndToEnd' ./cmd/rtsweepd
+	$(GO) test -race -count=1 -run 'TestExecutorEquivalence|TestLeaseFaultInjection' ./internal/dist
+
+# Machine-readable distributed-sweep cache checkpoint: the same grid
+# cold vs against a warm content-addressed cache (docs/distributed.md).
+bench-sweep:
+	$(GO) test -json -bench 'Benchmark(Cached|Uncached)Sweep$$' -benchtime=2s -run '^$$' ./internal/dist > BENCH_sweep.json
 
 # End-to-end metrics gate: run the smoke sweep and a sample simulation
 # with metrics snapshots, then validate both against the documented

@@ -9,6 +9,11 @@
 //	rtcheck -trials 200 -seed 1
 //	rtcheck -protocols mpcp,dpcp,hybrid -trials 500 -workers 8 -out report.json
 //	rtcheck -replay testdata/conformance/broken-invariants-0123456789abcdef.json
+//	rtcheck -server http://127.0.0.1:7632 -trials 500
+//
+// With -server the trials fan out across the workers of an rtsweepd
+// service (docs/distributed.md); the report, repro bytes and repro
+// paths are identical to a local run of the same options.
 //
 // Output is deterministic and byte-identical regardless of -workers. The
 // exit status is 0 when every trial passed, 1 when any oracle was
@@ -25,6 +30,7 @@ import (
 	"strings"
 
 	"mpcp/internal/conformance"
+	"mpcp/internal/dist"
 )
 
 func main() {
@@ -45,6 +51,7 @@ func run(args []string, out, errw io.Writer) int {
 		reproDir = fs.String("repro-dir", "testdata/conformance", "directory for shrunk repro files (empty to disable)")
 		horizon  = fs.Int("horizon", 0, "simulation horizon in ticks (0 = one hyperperiod past the largest offset)")
 		replay   = fs.String("replay", "", "replay one repro file and exit")
+		server   = fs.String("server", "", "run the trials on an rtsweepd coordinator at this URL instead of in-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,7 +74,16 @@ func run(args []string, out, errw io.Writer) int {
 		ReproDir:  *reproDir,
 		Horizon:   *horizon,
 	}
-	rep, err := conformance.Run(opts)
+	var rep *conformance.Report
+	var err error
+	if *server != "" {
+		// Remote fan-out via the sharded sweep service: trial order,
+		// repro bytes and repro paths match a local run of the same
+		// options (docs/distributed.md).
+		rep, err = dist.RunConformance(&dist.Client{BaseURL: *server}, opts, 0)
+	} else {
+		rep, err = conformance.Run(opts)
+	}
 	if err != nil {
 		fmt.Fprintln(errw, "rtcheck:", err)
 		return 2

@@ -2,11 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"mpcp/internal/dist"
 )
 
 // TestRunCleanProtocols: a small budget over the default protocols exits
@@ -96,6 +102,56 @@ func TestRunReportShape(t *testing.T) {
 	}
 	if len(parsed.Protocols) != 1 || parsed.Protocols[0] != "pcp" || parsed.Trials != 2 || len(parsed.Results) != 2 {
 		t.Errorf("unexpected report shape: %+v", parsed)
+	}
+}
+
+// TestRunServerMode: -server fans the trials out to an rtsweepd
+// coordinator, and stdout, exit code and the JSON report match a local
+// run of the same options byte for byte.
+func TestRunServerMode(t *testing.T) {
+	srv := dist.NewServer(dist.ServerOptions{ShardSize: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	w := &dist.Worker{Client: &dist.Client{BaseURL: ts.URL}, Name: "t", Workers: 2, Poll: 2 * time.Millisecond}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := w.Run(ctx); err != nil && ctx.Err() == nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+
+	dir := t.TempDir()
+	runWith := func(extra ...string) (string, int, []byte) {
+		rep := filepath.Join(t.TempDir(), "report.json")
+		args := append([]string{"-protocols", "mpcp,none", "-trials", "4", "-seed", "3",
+			"-repro-dir", dir, "-out", rep}, extra...)
+		var out, errw bytes.Buffer
+		code := run(args, &out, &errw)
+		data, err := os.ReadFile(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), code, data
+	}
+	localOut, localCode, localRep := runWith()
+	remoteOut, remoteCode, remoteRep := runWith("-server", ts.URL)
+	cancel()
+	wg.Wait()
+
+	if localCode != remoteCode {
+		t.Errorf("exit codes differ: local %d vs -server %d", localCode, remoteCode)
+	}
+	if localOut != remoteOut {
+		t.Errorf("stdout differs:\n%s\nvs\n%s", localOut, remoteOut)
+	}
+	if !bytes.Equal(localRep, remoteRep) {
+		t.Errorf("JSON report differs between local and -server runs")
 	}
 }
 

@@ -8,6 +8,12 @@
 //	rtsweep -utils 0.3,0.4,0.5,0.6,0.7 -protocols mpcp,dpcp -seeds 50 -sim
 //	rtsweep -spec sweep.json -workers 8 -out sweeps/acceptance.jsonl
 //	rtsweep -spec sweep.json -out sweeps/acceptance.jsonl -resume
+//	rtsweep -spec sweep.json -server http://127.0.0.1:7632 -out sweeps/acceptance.jsonl
+//
+// With -server the grid is evaluated by an rtsweepd service
+// (docs/distributed.md) instead of an in-process pool; everything else —
+// checkpointing, -resume, output formats, the byte-identity guarantee —
+// is unchanged.
 //
 // Results are deterministic regardless of -workers. The -out file is
 // JSONL, one point per line, checkpointed as the campaign runs and
@@ -26,6 +32,7 @@ import (
 	"strings"
 
 	"mpcp/internal/campaign"
+	"mpcp/internal/dist"
 	"mpcp/internal/obs"
 )
 
@@ -62,7 +69,8 @@ func run(args []string, out, errw io.Writer) (int, error) {
 		hotspot   = fs.Bool("hotspot", false, "force all global critical sections onto one semaphore")
 		stagger   = fs.Bool("stagger", false, "stagger release offsets")
 
-		workers    = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		workers    = fs.Int("workers", 0, "worker goroutines (0 = all CPUs); ignored with -server")
+		server     = fs.String("server", "", "run the campaign on an rtsweepd coordinator at this URL instead of in-process")
 		outPath    = fs.String("out", "", "JSONL result file (checkpoint + final artifact)")
 		resume     = fs.Bool("resume", false, "skip points already complete in -out")
 		format     = fs.String("format", "table", "stdout format: table, csv or jsonl")
@@ -146,6 +154,15 @@ func run(args []string, out, errw io.Writer) (int, error) {
 	if *metricsOut != "" || *debugAddr != "" {
 		reg = obs.NewRegistry()
 		opts.Metrics = reg
+	}
+	if *server != "" {
+		// Same campaign, remote execution: checkpointing, resume and
+		// output formats are executor-independent, so the result file
+		// is byte-identical to a local run (docs/distributed.md).
+		opts.Executor = &dist.RemoteShards{
+			Client:  &dist.Client{BaseURL: *server},
+			Metrics: reg,
+		}
 	}
 	if *debugAddr != "" {
 		addr, stop, err := obs.ServeDebug(*debugAddr, reg)

@@ -2,12 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"mpcp/internal/dist"
 	"mpcp/internal/obs"
 )
 
@@ -86,6 +91,50 @@ func TestWorkerCountInvariance(t *testing.T) {
 	}
 	if !bytes.Equal(b1, b8) {
 		t.Errorf("result files differ between worker counts")
+	}
+}
+
+// TestServerMode: -server hands the grid to an rtsweepd coordinator,
+// and the result file and stdout are byte-identical to a local run.
+func TestServerMode(t *testing.T) {
+	srv := dist.NewServer(dist.ServerOptions{ShardSize: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	w := &dist.Worker{Client: &dist.Client{BaseURL: ts.URL}, Name: "t", Workers: 1, Poll: 2 * time.Millisecond}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := w.Run(ctx); err != nil && ctx.Err() == nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+
+	dir := t.TempDir()
+	localPath := filepath.Join(dir, "local.jsonl")
+	remotePath := filepath.Join(dir, "remote.jsonl")
+	localOut, _ := runCLI(t, "-spec", "testdata/smoke.json", "-quiet", "-out", localPath, "-format", "jsonl")
+	remoteOut, _ := runCLI(t, "-spec", "testdata/smoke.json", "-quiet", "-server", ts.URL, "-out", remotePath, "-format", "jsonl")
+	cancel()
+	wg.Wait()
+
+	if localOut != remoteOut {
+		t.Errorf("stdout differs between local and -server runs:\n%s\nvs\n%s", localOut, remoteOut)
+	}
+	lb, err := os.ReadFile(localPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := os.ReadFile(remotePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lb) == 0 || !bytes.Equal(lb, rb) {
+		t.Errorf("result files differ between local and -server runs:\n%s\nvs\n%s", lb, rb)
 	}
 }
 

@@ -1,0 +1,216 @@
+// Command rtsweepd is the sharded sweep service (internal/dist): a
+// coordinator daemon that accepts campaign and conformance jobs over
+// HTTP/JSON, partitions them into shards handed out under expiring
+// leases, deduplicates work through a content-addressed result cache,
+// and persists resumable checkpoints — plus a worker mode that pulls
+// and computes shards for a coordinator.
+//
+// Usage:
+//
+//	rtsweepd -listen 127.0.0.1:7632 -cache-dir .rtsweepd/cache -data-dir .rtsweepd
+//	rtsweepd -worker -server http://127.0.0.1:7632 -name w1 -workers 8
+//	rtsweep  -server http://127.0.0.1:7632 -spec sweep.json -out out.jsonl
+//
+// The coordinator also serves the ops endpoint on the same address:
+// /metrics.json (request counts and latency, lease and cache hit/miss
+// counters), /debug/vars and /debug/pprof/. Results are byte-identical
+// to a single-process rtsweep run of the same spec, regardless of shard
+// size, worker count, or crash/retry history — see docs/distributed.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"mpcp/internal/dist"
+	"mpcp/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rtsweepd:", err)
+		os.Exit(1)
+	}
+}
+
+// notifyListen, when set (by tests), receives the coordinator's bound
+// address once it is accepting connections.
+var notifyListen func(addr string)
+
+// shutdownCh, when set (by tests), stops the coordinator when closed.
+var shutdownCh chan struct{}
+
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("rtsweepd", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		worker = fs.Bool("worker", false, "run as a worker pulling shards from -server instead of as the coordinator")
+
+		// Coordinator flags.
+		listen       = fs.String("listen", "127.0.0.1:7632", "coordinator listen address (port 0 picks a free port)")
+		cacheDir     = fs.String("cache-dir", "", "content-addressed result cache directory (empty disables caching)")
+		dataDir      = fs.String("data-dir", "", "job checkpoint directory (empty disables resumable checkpoints)")
+		shardSize    = fs.Int("shard-size", 0, "units per shard (0 = default)")
+		leaseTTL     = fs.Duration("lease-ttl", 0, "shard lease time-to-live (0 = default 60s)")
+		localWorkers = fs.Int("local-workers", 0, "embedded worker loops to run in-process (0 = coordinator only)")
+
+		// Worker flags.
+		server   = fs.String("server", "", "coordinator URL (worker mode)")
+		name     = fs.String("name", "", "worker name reported in leases (default host/pid)")
+		workers  = fs.Int("workers", 0, "goroutines per shard evaluation (0 = all CPUs)")
+		poll     = fs.Duration("poll", 500*time.Millisecond, "lease back-off while no work is available")
+		idleExit = fs.Duration("idle-exit", 0, "exit after this long with no leasable work (0 = run forever)")
+		drain    = fs.Bool("drain", false, "exit as soon as every job known to the coordinator is complete (batch mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *worker {
+		if *server == "" {
+			return fmt.Errorf("-worker requires -server")
+		}
+		return runWorker(errw, *server, *name, *workers, *poll, *idleExit, *drain)
+	}
+	return runCoordinator(errw, coordinatorConfig{
+		listen:       *listen,
+		cacheDir:     *cacheDir,
+		dataDir:      *dataDir,
+		shardSize:    *shardSize,
+		leaseTTL:     *leaseTTL,
+		localWorkers: *localWorkers,
+		pool:         *workers,
+		poll:         *poll,
+	})
+}
+
+type coordinatorConfig struct {
+	listen       string
+	cacheDir     string
+	dataDir      string
+	shardSize    int
+	leaseTTL     time.Duration
+	localWorkers int
+	pool         int
+	poll         time.Duration
+}
+
+func runCoordinator(errw io.Writer, cfg coordinatorConfig) error {
+	reg := obs.NewRegistry()
+	var cache *dist.Cache
+	if cfg.cacheDir != "" {
+		var err error
+		cache, err = dist.NewCache(cfg.cacheDir, reg)
+		if err != nil {
+			return err
+		}
+	}
+	srv := dist.NewServer(dist.ServerOptions{
+		Cache:     cache,
+		DataDir:   cfg.dataDir,
+		ShardSize: cfg.shardSize,
+		LeaseTTL:  cfg.leaseTTL,
+		Metrics:   reg,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
+	}
+	addr := ln.Addr().String()
+	fmt.Fprintf(errw, "rtsweepd: coordinator listening on http://%s (ops: /metrics.json, /debug/pprof/)\n", addr)
+	if notifyListen != nil {
+		notifyListen(addr)
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	// Embedded workers let a lone rtsweepd both coordinate and compute.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.localWorkers; i++ {
+		wg.Add(1)
+		w := &dist.Worker{
+			Client:  &dist.Client{BaseURL: "http://" + addr},
+			Name:    fmt.Sprintf("local-%d", i),
+			Workers: cfg.pool,
+			Poll:    cfg.poll,
+			Metrics: reg,
+		}
+		go func() {
+			defer wg.Done()
+			if _, err := w.Run(ctx); err != nil && ctx.Err() == nil {
+				fmt.Fprintf(errw, "rtsweepd: embedded worker: %v\n", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		cancel()
+		wg.Wait()
+		return err
+	case <-sig:
+	case <-shutdownCh:
+	}
+	cancel()
+	_ = httpSrv.Close()
+	wg.Wait()
+	fmt.Fprintln(errw, "rtsweepd: shutting down")
+	return nil
+}
+
+func runWorker(errw io.Writer, server, name string, workers int, poll, idleExit time.Duration, drain bool) error {
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	reg := obs.NewRegistry()
+	w := &dist.Worker{
+		Client:     &dist.Client{BaseURL: server},
+		Name:       name,
+		Workers:    workers,
+		Poll:       poll,
+		IdleExit:   idleExit,
+		ExitOnDone: drain,
+		Metrics:    reg,
+	}
+	fmt.Fprintf(errw, "rtsweepd: worker %s pulling from %s\n", name, server)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-sig:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	stats, err := w.Run(ctx)
+	fmt.Fprintf(errw, "rtsweepd: worker %s done: %d shard(s), %d unit(s), %d stale lease(s)\n",
+		name, stats.Shards, stats.Units, stats.StaleLeases)
+	if err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}

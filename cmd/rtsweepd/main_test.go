@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mpcp/internal/campaign"
+	"mpcp/internal/dist"
+	"mpcp/internal/obs"
+)
+
+func e2eSpec() *campaign.Spec {
+	s := campaign.DefaultSpec()
+	s.Name = "sweepd-e2e"
+	s.SeedsPerPoint = 2
+	s.Protocols = []string{campaign.ProtoMPCP, campaign.ProtoDPCP}
+	s.Utils = []float64{0.35, 0.55}
+	s.Procs = []int{2}
+	s.TasksPerProc = []int{3}
+	s.CSMax = []int{4}
+	s.Simulate = true
+	s.SimTickBudget = 10_000
+	return s
+}
+
+// TestSweepdEndToEnd is the smoke gate behind `make sweepd-smoke`: a
+// real rtsweepd coordinator process loop plus two worker process loops
+// over loopback HTTP, driven by a campaign through RemoteShards, with
+// the result file checked byte-for-byte against a single-process run
+// and the ops endpoint checked for request metrics.
+func TestSweepdEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+
+	// Single-process reference run.
+	localPath := filepath.Join(dir, "local.jsonl")
+	if _, err := campaign.Run(e2eSpec(), campaign.Options{Workers: 1, ResultsPath: localPath}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(localPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Coordinator via the real main loop, on a kernel-assigned port.
+	addrCh := make(chan string, 1)
+	notifyListen = func(addr string) { addrCh <- addr }
+	shutdownCh = make(chan struct{})
+	defer func() { notifyListen = nil; shutdownCh = nil }()
+
+	coordErr := make(chan error, 1)
+	go func() {
+		coordErr <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-cache-dir", filepath.Join(dir, "cache"),
+			"-data-dir", filepath.Join(dir, "data"),
+			"-shard-size", "1",
+		}, io.Discard, io.Discard)
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator did not start")
+	}
+	url := "http://" + addr
+
+	// Two worker process loops in batch (-drain) mode; they exit on
+	// their own once the coordinator reports every job done.
+	var workerWg sync.WaitGroup
+	workerErr := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		workerWg.Add(1)
+		go func(i int) {
+			defer workerWg.Done()
+			workerErr <- run([]string{
+				"-worker", "-server", url,
+				"-name", fmt.Sprintf("w%d", i),
+				"-workers", "2",
+				"-poll", "10ms",
+				"-drain",
+				"-idle-exit", "5s",
+			}, io.Discard, io.Discard)
+		}(i)
+	}
+
+	// Drive the campaign through the service.
+	remotePath := filepath.Join(dir, "remote.jsonl")
+	if _, err := campaign.Run(e2eSpec(), campaign.Options{
+		ResultsPath: remotePath,
+		Executor: &dist.RemoteShards{
+			Client: &dist.Client{BaseURL: url},
+			Poll:   10 * time.Millisecond,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(remotePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("distributed result file differs from single-process run:\n%s\nvs\n%s", got, want)
+	}
+
+	// Ops endpoint: request counters and latency live on the same port.
+	resp, err := http.Get(url + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	snap, err := obs.ReadSnapshot(resp.Body)
+	if err != nil {
+		t.Fatalf("metrics.json invalid: %v", err)
+	}
+	var leaseRequests, unitsDone int64 = -1, -1
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "dist_http_requests_total{route=lease}":
+			leaseRequests = c.Value
+		case "dist_units_done":
+			unitsDone = c.Value
+		}
+	}
+	if leaseRequests <= 0 {
+		t.Errorf("lease request counter missing or zero in ops snapshot: %d", leaseRequests)
+	}
+	if unitsDone != 4 {
+		t.Errorf("dist_units_done = %d, want 4", unitsDone)
+	}
+
+	// With the job complete the coordinator answers Done, so both
+	// worker loops exit cleanly on their own; only then stop the
+	// coordinator.
+	workerWg.Wait()
+	close(workerErr)
+	for err := range workerErr {
+		if err != nil {
+			t.Errorf("worker loop: %v", err)
+		}
+	}
+	close(shutdownCh)
+	if err := <-coordErr; err != nil {
+		t.Errorf("coordinator loop: %v", err)
+	}
+}

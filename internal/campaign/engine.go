@@ -37,6 +37,13 @@ type Options struct {
 	// from the resume checkpoint.
 	Progress func(Progress)
 
+	// Executor evaluates the outstanding points; nil means a LocalPool
+	// with Workers goroutines. Checkpointing, resume, progress and the
+	// spec-order result rewrite are executor-independent, so swapping in
+	// dist.RemoteShards changes where points run, never what the result
+	// file contains.
+	Executor Executor
+
 	// Metrics, when set, receives live campaign instrumentation:
 	// campaign_points_total / _skipped / _done / _failures counters, a
 	// campaign_point_us latency histogram (observed worker-side, so it
@@ -128,9 +135,13 @@ func Run(spec *Spec, opts Options) (*Campaign, error) {
 		checkpoint = bufio.NewWriter(f)
 	}
 
-	// Fan out over the shared worker pool. The collect callback is the
-	// only writer of done/checkpoint and ForEach guarantees it runs on a
-	// single goroutine, so no locking is needed; workers only compute.
+	// Fan out over the executor. The collect callback is the only
+	// writer of done/checkpoint and Execute guarantees it runs on a
+	// single goroutine, so no locking is needed; executors only compute.
+	exec := opts.Executor
+	if exec == nil {
+		exec = &LocalPool{Workers: workers, Metrics: opts.Metrics}
+	}
 	start := time.Now() //rtlint:allow determinism wall-clock feeds Progress/Metrics timing only, never point results
 	prog := Progress{Total: len(points), Skipped: len(done), Done: len(done)}
 	// Iterate the spec-ordered points, not the done map, so progress
@@ -144,12 +155,8 @@ func Run(spec *Spec, opts Options) (*Campaign, error) {
 	opts.Metrics.Counter("campaign_points_skipped").Add(int64(len(done)))
 	completed := 0
 	var ioErr error
-	ForEach(workers, todo, func(_ int, pt Point) *PointResult {
-		t0 := time.Now() //rtlint:allow determinism worker-side latency observation feeds the metrics histogram only
-		r := runPoint(spec, pt, opts.Metrics)
-		opts.Metrics.Histogram("campaign_point_us").Observe(time.Since(t0).Microseconds())
-		return r
-	}, func(_ int, r *PointResult) {
+	var execErr error
+	collect := func(r *PointResult) {
 		done[r.Key] = r
 		completed++
 		opts.Metrics.Counter("campaign_points_done").Inc()
@@ -175,7 +182,10 @@ func Run(spec *Spec, opts Options) (*Campaign, error) {
 			prog.Last = r
 			opts.Progress(prog)
 		}
-	})
+	}
+	if len(todo) > 0 {
+		execErr = exec.Execute(spec, todo, collect)
+	}
 	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
 		opts.Metrics.Gauge("campaign_points_per_sec").Set(float64(completed) / elapsed)
 	}
@@ -183,7 +193,7 @@ func Run(spec *Spec, opts Options) (*Campaign, error) {
 	// fires; still deliver the terminal snapshot so consumers always see
 	// Done == Total with ETA 0. (With completed > 0 the last per-point
 	// snapshot is already terminal.)
-	if opts.Progress != nil && completed == 0 {
+	if opts.Progress != nil && completed == 0 && execErr == nil {
 		prog.Done = prog.Skipped
 		prog.ETA = 0
 		opts.Progress(prog)
@@ -195,6 +205,11 @@ func Run(spec *Spec, opts Options) (*Campaign, error) {
 	}
 	if ioErr != nil {
 		return nil, fmt.Errorf("campaign: checkpoint: %w", ioErr)
+	}
+	// An executor error aborts the campaign; whatever was collected is
+	// already checkpointed, so a -resume re-run picks up where it died.
+	if execErr != nil {
+		return nil, fmt.Errorf("campaign: executor: %w", execErr)
 	}
 
 	c := &Campaign{Spec: spec}

@@ -1,0 +1,61 @@
+package campaign
+
+import (
+	"time"
+
+	"mpcp/internal/obs"
+)
+
+// An Executor evaluates the outstanding points of a campaign. Run owns
+// everything around the evaluation — grid expansion, resume filtering,
+// checkpointing, progress, final spec-order rewrite — and delegates only
+// the point computation, so every executor inherits the same determinism
+// guarantee: results are keyed, collected exactly once each, and the
+// final artifact is byte-identical no matter which executor produced it.
+//
+// Implementations: LocalPool (in-process worker pool, the default) and
+// dist.RemoteShards (sharded execution on an rtsweepd service; see
+// docs/distributed.md).
+type Executor interface {
+	// Execute evaluates every point and delivers each result exactly
+	// once to collect. collect is always invoked from a single
+	// goroutine (the caller's), so it may touch shared state without
+	// locking; results may arrive in any order. An error aborts the
+	// campaign — per-point failures are recorded inside PointResult,
+	// never returned here.
+	Execute(spec *Spec, points []Point, collect func(*PointResult)) error
+}
+
+// LocalPool is the in-process executor: a bounded goroutine pool
+// (ForEach) evaluating points on this machine.
+type LocalPool struct {
+	// Workers bounds the pool; <= 0 means runtime.NumCPU().
+	Workers int
+	// Metrics, when set, receives the campaign_point_us latency
+	// histogram (observed worker-side) and the simulator fast-path
+	// odometer. Nil-safe.
+	Metrics *obs.Registry
+}
+
+// Execute fans the points out over the worker pool.
+func (p *LocalPool) Execute(spec *Spec, points []Point, collect func(*PointResult)) error {
+	ForEach(p.Workers, points, func(_ int, pt Point) *PointResult {
+		t0 := time.Now() //rtlint:allow determinism worker-side latency observation feeds the metrics histogram only
+		r := EvaluatePoint(spec, pt, p.Metrics)
+		p.Metrics.Histogram("campaign_point_us").Observe(time.Since(t0).Microseconds())
+		return r
+	}, func(_ int, r *PointResult) {
+		collect(r)
+	})
+	return nil
+}
+
+// EvaluatePoint evaluates one grid point: SeedsPerPoint seeded trials of
+// generate -> analyze -> (optionally) simulate. It is the unit of work
+// every executor runs — remote shard workers call it directly — and it
+// is deterministic: the result depends only on spec and pt, never on
+// where or when it runs. The registry (nil-safe) accumulates fast-path
+// instrumentation; point results never depend on it.
+func EvaluatePoint(spec *Spec, pt Point, reg *obs.Registry) *PointResult {
+	return runPoint(spec, pt, reg)
+}

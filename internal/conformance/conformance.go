@@ -262,6 +262,19 @@ func Run(opts Options) (*Report, error) {
 	return rep, nil
 }
 
+// RunOne evaluates a single (protocol, trial) pair exactly as Run does:
+// same seed derivation, same oracles, same shrinking. It is the unit of
+// work remote executors run (internal/dist's conformance runner), so its
+// result must depend only on opts, protocol and trial — ReproDir and
+// Workers are ignored; repro persistence is the collector's job.
+func RunOne(opts Options, protocol string, trial int) TrialResult {
+	base := opts.BaseSeed
+	if base == 0 {
+		base = 1
+	}
+	return runTrial(opts, base, trialSpec{protocol: protocol, trial: trial})
+}
+
 // runTrial evaluates every applicable oracle on one generated system and,
 // on failure, shrinks the first violation to a repro.
 func runTrial(opts Options, base int64, sp trialSpec) TrialResult {

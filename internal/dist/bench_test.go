@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// benchSpec is intentionally heavier than testSpec so the cache-hit
+// speedup is visible over the fixed job-bookkeeping cost.
+func benchPayload(b *testing.B) json.RawMessage {
+	b.Helper()
+	s := testSpec()
+	s.Name = "dist-bench"
+	s.SeedsPerPoint = 5
+	s.Utils = []float64{0.3, 0.45, 0.6, 0.75}
+	s.SimTickBudget = 50_000
+	s.FillDefaults()
+	payload, err := json.Marshal(SweepPayload{Spec: s})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return payload
+}
+
+// drainServer computes every outstanding shard in-process.
+func drainServer(b *testing.B, srv *Server) {
+	b.Helper()
+	tasks := make(map[string]Task)
+	for {
+		lease := srv.Lease(LeaseRequest{Worker: "bench"})
+		if lease.Done || lease.Wait {
+			return
+		}
+		task := tasks[lease.JobID]
+		if task == nil {
+			var err error
+			task, err = DefaultRunners()[lease.Kind].Open(lease.Payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tasks[lease.JobID] = task
+		}
+		results := make([]UnitResult, 0, len(lease.Units))
+		for _, u := range lease.Units {
+			doc, failures, err := task.Run(u, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results = append(results, UnitResult{Unit: u, Key: task.Key(u), Failures: failures, Result: doc})
+		}
+		if _, err := srv.Ingest(lease.JobID, lease.Shard, lease.Token, results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func submitBench(b *testing.B, srv *Server, payload json.RawMessage) *SubmitResponse {
+	b.Helper()
+	sub, err := srv.Submit(SubmitRequest{Kind: KindSweep, Payload: payload})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sub
+}
+
+// BenchmarkUncachedSweep evaluates the grid from scratch every
+// iteration: the cold-path cost a cache hit avoids.
+func BenchmarkUncachedSweep(b *testing.B) {
+	payload := benchPayload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		srv := NewServer(ServerOptions{ShardSize: 4})
+		sub := submitBench(b, srv, payload)
+		if sub.Cached != 0 {
+			b.Fatalf("uncached run reported %d cache hits", sub.Cached)
+		}
+		drainServer(b, srv)
+		srv.Close()
+	}
+}
+
+// BenchmarkCachedSweep submits the same grid against a warm
+// content-addressed cache: every unit is satisfied at submit, with no
+// worker computation at all.
+func BenchmarkCachedSweep(b *testing.B) {
+	payload := benchPayload(b)
+	cache, err := NewCache(b.TempDir(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := NewServer(ServerOptions{ShardSize: 4, Cache: cache})
+	drainWarm := submitBench(b, warm, payload)
+	drainServer(b, warm)
+	warm.Close()
+
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		srv := NewServer(ServerOptions{ShardSize: 4, Cache: cache})
+		sub := submitBench(b, srv, payload)
+		if sub.Cached != drainWarm.Units {
+			b.Fatalf("cached run hit %d/%d units", sub.Cached, drainWarm.Units)
+		}
+		st, err := srv.Status(sub.JobID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !st.Complete {
+			b.Fatal("fully cached job not complete at submit")
+		}
+		srv.Close()
+	}
+}

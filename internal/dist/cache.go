@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mpcp/internal/obs"
+)
+
+// Cache is a content-addressed store of unit results, reusing the
+// conformance repro store's idiom: the file name is derived from the
+// content key, writes are idempotent, and identical inputs always map
+// to identical paths. The address is sha256 over the unit's canonical
+// descriptor (Task.CacheKey), which includes EngineVersion and the
+// protocol — a version bump or a protocol change yields a different
+// address, so stale entries are never returned, only orphaned.
+//
+// Layout under the cache directory: entries live at
+// <aa>/<sha256-hex>.json (two-level fan-out on the first address byte),
+// each a cacheEntry holding the descriptor it was stored under plus the
+// result document. Get verifies the stored descriptor, so even an
+// (astronomically unlikely) hash collision or a hand-edited file
+// degrades to a miss, never a wrong result.
+//
+// A nil *Cache is a valid no-op: every lookup misses and every store is
+// dropped, so callers need no nil checks.
+type Cache struct {
+	dir     string
+	metrics *obs.Registry
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir. The
+// registry (nil-safe) receives dist_cache_hits / dist_cache_misses
+// counters.
+func NewCache(dir string, reg *obs.Registry) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dist: cache: %w", err)
+	}
+	return &Cache{dir: dir, metrics: reg}, nil
+}
+
+// cacheEntry is the on-disk form of one cached unit result.
+type cacheEntry struct {
+	// Descriptor is the canonical content descriptor the entry was
+	// stored under, kept verbatim for verification and debuggability.
+	Descriptor string          `json:"descriptor"`
+	Failures   int             `json:"failures,omitempty"`
+	Result     json.RawMessage `json:"result"`
+}
+
+// addr maps a descriptor to its relative entry path.
+func cacheAddr(descriptor string) string {
+	sum := sha256.Sum256([]byte(descriptor))
+	hexSum := hex.EncodeToString(sum[:])
+	return filepath.Join(hexSum[:2], hexSum+".json")
+}
+
+// Get looks the descriptor up, returning the stored result document and
+// failure count on a hit. Unreadable, unparsable or mismatched entries
+// are misses.
+func (c *Cache) Get(descriptor string) (result json.RawMessage, failures int, ok bool) {
+	if c == nil || descriptor == "" {
+		return nil, 0, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, cacheAddr(descriptor)))
+	if err != nil {
+		c.metrics.Counter("dist_cache_misses").Inc()
+		return nil, 0, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Descriptor != descriptor {
+		c.metrics.Counter("dist_cache_misses").Inc()
+		return nil, 0, false
+	}
+	c.metrics.Counter("dist_cache_hits").Inc()
+	return e.Result, e.Failures, true
+}
+
+// Put stores a unit result under its descriptor. Storing the same
+// descriptor twice is idempotent; the write is atomic (tmp + rename) so
+// concurrent workers and crashes never leave a torn entry.
+func (c *Cache) Put(descriptor string, result json.RawMessage, failures int) error {
+	if c == nil || descriptor == "" {
+		return nil
+	}
+	data, err := json.Marshal(cacheEntry{Descriptor: descriptor, Failures: failures, Result: result})
+	if err != nil {
+		return fmt.Errorf("dist: cache: %w", err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join(c.dir, cacheAddr(descriptor))
+	if prev, err := os.ReadFile(path); err == nil && bytes.Equal(prev, data) {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("dist: cache: %w", err)
+	}
+	// Unique temp name: even coordinators sharing one cache directory
+	// cannot tear each other's writes.
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		return fmt.Errorf("dist: cache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: cache: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dist: cache: %w", err)
+	}
+	return nil
+}

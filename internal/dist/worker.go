@@ -1,0 +1,150 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mpcp/internal/campaign"
+	"mpcp/internal/obs"
+)
+
+// Worker is the pull-mode compute loop: lease a shard from the
+// coordinator, evaluate its units on the in-process pool, stream the
+// results back, repeat. Workers hold no job state of their own — the
+// lease response carries the payload — so any number of them can join,
+// leave or crash mid-shard without coordination; an abandoned shard's
+// lease simply expires and the next worker steals it.
+type Worker struct {
+	// Client targets the coordinator.
+	Client *Client
+	// Name labels this worker in leases (diagnostics only).
+	Name string
+	// Runners maps job kinds to runners; nil means DefaultRunners().
+	Runners map[string]Runner
+	// Workers bounds the intra-shard pool; <= 0 means all CPUs.
+	Workers int
+	// Poll is the back-off between lease attempts while the
+	// coordinator reports Wait; <= 0 means 500ms.
+	Poll time.Duration
+	// IdleExit, when positive, makes Run return after the coordinator
+	// has reported no leasable work for that long continuously. Zero
+	// means run until the context is cancelled (or, with ExitOnDone,
+	// every job is done).
+	IdleExit time.Duration
+	// ExitOnDone makes Run return as soon as the coordinator reports
+	// every known job complete — the right mode for a batch worker
+	// draining one submission. Default false: a standing worker treats
+	// "all jobs done" as idle and keeps polling, because new jobs can
+	// be submitted at any time.
+	ExitOnDone bool
+	// Metrics (nil-safe) accumulates worker-side instrumentation:
+	// dist_worker_shards / _units / _stale_leases counters.
+	Metrics *obs.Registry
+}
+
+// WorkerStats summarizes one Run.
+type WorkerStats struct {
+	Shards int
+	Units  int
+	// StaleLeases counts shards whose results were refused because the
+	// lease expired and was re-issued while this worker computed.
+	StaleLeases int
+}
+
+// Run pulls and computes shards until ctx is cancelled, the idle
+// deadline passes, or (with ExitOnDone) the coordinator reports every
+// known job done.
+func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
+	var stats WorkerStats
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	runners := w.Runners
+	if runners == nil {
+		runners = DefaultRunners()
+	}
+	tasks := make(map[string]Task) // job ID -> opened task
+	var idleSince time.Duration
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		lease, err := w.Client.Lease(LeaseRequest{Worker: w.Name})
+		if err != nil {
+			return stats, err
+		}
+		if lease.Done && w.ExitOnDone {
+			return stats, nil
+		}
+		if lease.Done || lease.Wait {
+			if w.IdleExit > 0 && idleSince >= w.IdleExit {
+				return stats, nil
+			}
+			idleSince += poll
+			select {
+			case <-ctx.Done():
+				return stats, ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
+		}
+		idleSince = 0
+		task := tasks[lease.JobID]
+		if task == nil {
+			runner := runners[lease.Kind]
+			if runner == nil {
+				return stats, fmt.Errorf("dist: worker has no runner for kind %q", lease.Kind)
+			}
+			task, err = runner.Open(lease.Payload)
+			if err != nil {
+				return stats, err
+			}
+			tasks[lease.JobID] = task
+		}
+		results, err := w.computeShard(task, lease.Units)
+		if err != nil {
+			return stats, err
+		}
+		resp, err := w.Client.SubmitResults(lease.JobID, lease.Shard, lease.Token, results)
+		if err != nil {
+			if isConflict(err) {
+				// Lease stolen while computing: the thief owns the
+				// shard now, and determinism makes its results
+				// identical to ours. Drop and move on.
+				stats.StaleLeases++
+				w.Metrics.Counter("dist_worker_stale_leases").Inc()
+				continue
+			}
+			return stats, err
+		}
+		stats.Shards++
+		stats.Units += resp.Accepted
+		w.Metrics.Counter("dist_worker_shards").Inc()
+		w.Metrics.Counter("dist_worker_units").Add(int64(resp.Accepted))
+	}
+}
+
+// computeShard evaluates the shard's units on the in-process pool.
+// Results are placed by index, so completion order never leaks.
+func (w *Worker) computeShard(task Task, units []int) ([]UnitResult, error) {
+	out := make([]UnitResult, len(units))
+	var firstErr error
+	campaign.ForEach(w.Workers, units, func(_ int, unit int) UnitResult {
+		result, failures, err := task.Run(unit, w.Metrics)
+		if err != nil {
+			return UnitResult{Unit: -1}
+		}
+		return UnitResult{Unit: unit, Key: task.Key(unit), Failures: failures, Result: result}
+	}, func(i int, r UnitResult) {
+		if r.Unit < 0 && firstErr == nil {
+			firstErr = fmt.Errorf("dist: unit %d failed to evaluate", units[i])
+		}
+		out[i] = r
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -33,20 +33,24 @@ func (s Scoped) Applies(importPath string) bool {
 //
 //   - determinism guards the deterministic result path: the tick
 //     simulator and its release queue, the conformance engine, the
-//     campaign engine and the workload generators. The campaign worker
-//     pool (pool.go) is the
+//     campaign engine, the workload generators and the distributed
+//     sweep service (whose merged output must be byte-identical to a
+//     local run). The campaign worker pool (pool.go) is the
 //     one blessed fan-out point; its collector serializes results back
 //     into spec order, which the byte-identical-across-workers tests
-//     verify at runtime.
+//     verify at runtime. internal/dist itself spawns no goroutines —
+//     its concurrency lives in net/http and the blessed pool.
 //   - lockdiscipline guards every package that holds a sync mutex near
-//     the substrate or its observers: shmem, pqueue, obs, server.
+//     the substrate or its observers: shmem, pqueue, obs, server — and
+//     the dist coordinator, whose single mutex orders all job state.
 //   - exhaustiveswitch is module-wide; the enums it protects (trace
 //     event kinds, protocol constants, job states) are switched on
 //     everywhere.
 //   - floatcompare guards the float-heavy analytical bounds.
 //   - jsonstable guards every package that writes JSONL artifacts:
 //     campaign checkpoints, conformance repros, trace streams, metrics
-//     snapshots and config round-trips.
+//     snapshots, config round-trips, and the dist wire format, job
+//     checkpoints and cache entries.
 func DefaultSuite() []Scoped {
 	return []Scoped{
 		{
@@ -57,6 +61,7 @@ func DefaultSuite() []Scoped {
 				"mpcp/internal/conformance",
 				"mpcp/internal/campaign",
 				"mpcp/internal/workload",
+				"mpcp/internal/dist",
 			},
 		},
 		{
@@ -66,6 +71,7 @@ func DefaultSuite() []Scoped {
 				"mpcp/internal/pqueue",
 				"mpcp/internal/obs",
 				"mpcp/internal/server",
+				"mpcp/internal/dist",
 			},
 		},
 		{
@@ -86,6 +92,7 @@ func DefaultSuite() []Scoped {
 				"mpcp/internal/trace",
 				"mpcp/internal/obs",
 				"mpcp/internal/config",
+				"mpcp/internal/dist",
 			},
 		},
 	}
