@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json bench-sim bench-sweep repro repro-verify sweep sweep-smoke sweepd-smoke metrics-demo check check-smoke fuzz vet rtvet fmt lint cover clean
+.PHONY: all build test test-short bench bench-json bench-sim bench-sweep bench-obs repro repro-verify sweep sweep-smoke sweepd-smoke obs-smoke metrics-demo check check-smoke fuzz vet rtvet fmt lint cover clean
 
 all: build test
 
@@ -47,6 +47,24 @@ sweepd-smoke:
 # cold vs against a warm content-addressed cache (docs/distributed.md).
 bench-sweep:
 	$(GO) test -json -bench 'Benchmark(Cached|Uncached)Sweep$$' -benchtime=2s -run '^$$' ./internal/dist > BENCH_sweep.json
+
+# Machine-readable tracing-overhead checkpoint: the simulator benchmark
+# with spans off (must stay identical to BENCH_sim.json's base — a nil
+# tracer is free) and on, plus the raw span-emission micro-benchmarks
+# (docs/observability.md).
+bench-obs:
+	$(GO) test -json -bench 'BenchmarkSimulateHyperperiodMPCP(Spans)?$$' -benchtime=2s -run '^$$' . > BENCH_obs.json
+	$(GO) test -json -bench 'BenchmarkSpan(Disabled|Streamed)$$' -benchtime=2s -run '^$$' ./internal/obs/span >> BENCH_obs.json
+
+# Observability gate (CI runs this): a loopback rtsweepd sweep with span
+# streaming on every process, merged into a Chrome trace-event timeline
+# and validated, plus the Prometheus exposition golden and the
+# scrape-under-load race test (docs/observability.md).
+obs-smoke:
+	$(GO) test -race -count=1 -run 'TestObsSmoke' ./cmd/rtsweepd
+	$(GO) test -race -count=1 -run 'TestScrapeWhileCollect' ./internal/obs
+	$(GO) test -count=1 -run 'TestPromGolden' ./cmd/rtmetrics
+	$(GO) test -count=1 -run 'TestSpanTreeDeterministic' ./internal/dist
 
 # End-to-end metrics gate: run the smoke sweep and a sample simulation
 # with metrics snapshots, then validate both against the documented

@@ -11,10 +11,12 @@ package mpcp_test
 // the protocol hot paths follow at the end.
 
 import (
+	"io"
 	"testing"
 
 	"mpcp"
 	"mpcp/internal/experiments"
+	"mpcp/internal/obs/span"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -172,6 +174,30 @@ func BenchmarkSimulateHyperperiodMPCPSparseReference(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mpcp.Simulate(sys, mpcp.MPCP(), mpcp.WithReferenceStepper()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateHyperperiodMPCPSpans is the tracing-on counterpart
+// of BenchmarkSimulateHyperperiodMPCP: the same workload with sim.init
+// and sim.run spans streamed to a discarded JSONL sink. BENCH_obs.json
+// tracks this pair — the base benchmark doubles as the tracing-off
+// baseline, which must stay unchanged because a nil tracer short-
+// circuits before any span work (docs/observability.md).
+func BenchmarkSimulateHyperperiodMPCPSpans(b *testing.B) {
+	sys, err := mpcp.GenerateWorkload(mpcp.DefaultWorkload(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := span.NewStreamSink(io.Discard)
+	tr := span.New(sink, "bench")
+	root := tr.Start(mpcp.SpanContext{}, "bench.sim", "hyperperiod-mpcp")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mpcp.Simulate(sys, mpcp.MPCP(), mpcp.WithSpans(tr, root.Context())); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,11 @@
 //
 //	rtmetrics snapshot.json...           # validate and summarize
 //	rtmetrics -q snapshot.json...        # validate only
+//	rtmetrics -prom snapshot.json...     # render as Prometheus text exposition
+//
+// -prom prints each snapshot in the Prometheus text format (0.0.4) —
+// the same rendering the /metrics endpoint serves — so scrapes can be
+// reproduced and diffed offline.
 package main
 
 import (
@@ -28,6 +33,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rtmetrics", flag.ContinueOnError)
 	quiet := fs.Bool("q", false, "validate only, print nothing on success")
+	prom := fs.Bool("prom", false, "render each snapshot in the Prometheus text exposition format")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,6 +51,12 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		if *quiet {
+			continue
+		}
+		if *prom {
+			if err := s.WritePrometheus(out); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
 			continue
 		}
 		fmt.Fprintf(out, "%s: valid (format %s v%d): %d counters, %d gauges, %d histograms\n",

@@ -53,6 +53,27 @@ func TestRunQuiet(t *testing.T) {
 	}
 }
 
+// TestPromGolden pins the Prometheus text exposition byte-for-byte:
+// testdata/snapshot.json rendered with -prom must match
+// testdata/prom.golden. Scrape consumers depend on this format, so a
+// rendering change must be deliberate — regenerate the golden with
+//
+//	go run ./cmd/rtmetrics -prom cmd/rtmetrics/testdata/snapshot.json \
+//	  > cmd/rtmetrics/testdata/prom.golden
+func TestPromGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "prom.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-prom", filepath.Join("testdata", "snapshot.json")}, &out); err != nil {
+		t.Fatalf("run -prom: %v", err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("prometheus exposition drifted from testdata/prom.golden:\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
 func TestRunRejectsInvalid(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(path, []byte(`{"format":"wrong","version":1}`), 0o644); err != nil {

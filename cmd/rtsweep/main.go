@@ -34,6 +34,7 @@ import (
 	"mpcp/internal/campaign"
 	"mpcp/internal/dist"
 	"mpcp/internal/obs"
+	"mpcp/internal/obs/span"
 )
 
 func main() {
@@ -76,7 +77,8 @@ func run(args []string, out, errw io.Writer) (int, error) {
 		format     = fs.String("format", "table", "stdout format: table, csv or jsonl")
 		quiet      = fs.Bool("quiet", false, "suppress progress output")
 		metricsOut = fs.String("metrics", "", "write a campaign metrics snapshot (points, failures, per-point latency) as JSON to this file")
-		debugAddr  = fs.String("debug-addr", "", "serve /metrics.json, /debug/vars and /debug/pprof on this address while the campaign runs")
+		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address while the campaign runs")
+		spansOut   = fs.String("spans", "", "stream campaign spans (campaign.run, campaign.point / sweep.submit) as JSONL to this file; render with rttrace -timeline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 0, err
@@ -154,6 +156,19 @@ func run(args []string, out, errw io.Writer) (int, error) {
 	if *metricsOut != "" || *debugAddr != "" {
 		reg = obs.NewRegistry()
 		opts.Metrics = reg
+	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			return 0, err
+		}
+		sink := span.NewStreamSink(f)
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintf(errw, "rtsweep: span stream: %v\n", err)
+			}
+		}()
+		opts.Tracer = span.New(sink, "rtsweep")
 	}
 	if *server != "" {
 		// Same campaign, remote execution: checkpointing, resume and

@@ -33,6 +33,7 @@ import (
 
 	"mpcp/internal/dist"
 	"mpcp/internal/obs"
+	"mpcp/internal/obs/span"
 )
 
 func main() {
@@ -70,6 +71,9 @@ func run(args []string, out, errw io.Writer) error {
 		poll     = fs.Duration("poll", 500*time.Millisecond, "lease back-off while no work is available")
 		idleExit = fs.Duration("idle-exit", 0, "exit after this long with no leasable work (0 = run forever)")
 		drain    = fs.Bool("drain", false, "exit as soon as every job known to the coordinator is complete (batch mode)")
+
+		// Both modes.
+		spans = fs.String("spans", "", "stream coordinator/worker spans as JSONL to this file; render with rttrace -timeline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,7 +85,7 @@ func run(args []string, out, errw io.Writer) error {
 		if *server == "" {
 			return fmt.Errorf("-worker requires -server")
 		}
-		return runWorker(errw, *server, *name, *workers, *poll, *idleExit, *drain)
+		return runWorker(errw, *server, *name, *workers, *poll, *idleExit, *drain, *spans)
 	}
 	return runCoordinator(errw, coordinatorConfig{
 		listen:       *listen,
@@ -92,7 +96,24 @@ func run(args []string, out, errw io.Writer) error {
 		localWorkers: *localWorkers,
 		pool:         *workers,
 		poll:         *poll,
+		spans:        *spans,
 	})
+}
+
+// openSpanSink opens path for span streaming and returns a tracer for
+// actor plus a close function that reports stream errors to errw.
+func openSpanSink(errw io.Writer, path, actor string) (*span.Tracer, func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	sink := span.NewStreamSink(f)
+	closeFn := func() {
+		if err := sink.Close(); err != nil {
+			fmt.Fprintf(errw, "rtsweepd: span stream: %v\n", err)
+		}
+	}
+	return span.New(sink, actor), closeFn, nil
 }
 
 type coordinatorConfig struct {
@@ -104,10 +125,20 @@ type coordinatorConfig struct {
 	localWorkers int
 	pool         int
 	poll         time.Duration
+	spans        string
 }
 
 func runCoordinator(errw io.Writer, cfg coordinatorConfig) error {
 	reg := obs.NewRegistry()
+	var tracer *span.Tracer
+	if cfg.spans != "" {
+		tr, closeSink, err := openSpanSink(errw, cfg.spans, "coordinator")
+		if err != nil {
+			return err
+		}
+		defer closeSink()
+		tracer = tr
+	}
 	var cache *dist.Cache
 	if cfg.cacheDir != "" {
 		var err error
@@ -122,6 +153,7 @@ func runCoordinator(errw io.Writer, cfg coordinatorConfig) error {
 		ShardSize: cfg.shardSize,
 		LeaseTTL:  cfg.leaseTTL,
 		Metrics:   reg,
+		Tracer:    tracer,
 	})
 	defer srv.Close()
 
@@ -145,12 +177,14 @@ func runCoordinator(errw io.Writer, cfg coordinatorConfig) error {
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.localWorkers; i++ {
 		wg.Add(1)
+		wname := fmt.Sprintf("local-%d", i)
 		w := &dist.Worker{
 			Client:  &dist.Client{BaseURL: "http://" + addr},
-			Name:    fmt.Sprintf("local-%d", i),
+			Name:    wname,
 			Workers: cfg.pool,
 			Poll:    cfg.poll,
 			Metrics: reg,
+			Tracer:  tracer.WithActor(wname),
 		}
 		go func() {
 			defer wg.Done()
@@ -177,12 +211,21 @@ func runCoordinator(errw io.Writer, cfg coordinatorConfig) error {
 	return nil
 }
 
-func runWorker(errw io.Writer, server, name string, workers int, poll, idleExit time.Duration, drain bool) error {
+func runWorker(errw io.Writer, server, name string, workers int, poll, idleExit time.Duration, drain bool, spans string) error {
 	if name == "" {
 		host, _ := os.Hostname()
 		name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 	reg := obs.NewRegistry()
+	var tracer *span.Tracer
+	if spans != "" {
+		tr, closeSink, err := openSpanSink(errw, spans, name)
+		if err != nil {
+			return err
+		}
+		defer closeSink()
+		tracer = tr
+	}
 	w := &dist.Worker{
 		Client:     &dist.Client{BaseURL: server},
 		Name:       name,
@@ -191,6 +234,7 @@ func runWorker(errw io.Writer, server, name string, workers int, poll, idleExit 
 		IdleExit:   idleExit,
 		ExitOnDone: drain,
 		Metrics:    reg,
+		Tracer:     tracer,
 	}
 	fmt.Fprintf(errw, "rtsweepd: worker %s pulling from %s\n", name, server)
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"mpcp/internal/campaign"
 	"mpcp/internal/dist"
 	"mpcp/internal/obs"
+	"mpcp/internal/obs/span"
 )
 
 func e2eSpec() *campaign.Spec {
@@ -148,5 +150,126 @@ func TestSweepdEndToEnd(t *testing.T) {
 	close(shutdownCh)
 	if err := <-coordErr; err != nil {
 		t.Errorf("coordinator loop: %v", err)
+	}
+}
+
+// TestObsSmoke is the gate behind `make obs-smoke`: a loopback sweep
+// with span streaming on every process (coordinator -spans, worker
+// -spans), the streams merged into a Chrome trace-event timeline, and
+// the timeline validated to carry the coordinator, worker, shard and
+// point spans plus the Prometheus endpoint on the coordinator port.
+func TestObsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	coordSpans := filepath.Join(dir, "coord-spans.jsonl")
+	workerSpans := filepath.Join(dir, "worker-spans.jsonl")
+
+	addrCh := make(chan string, 1)
+	notifyListen = func(addr string) { addrCh <- addr }
+	shutdownCh = make(chan struct{})
+	defer func() { notifyListen = nil; shutdownCh = nil }()
+
+	coordErr := make(chan error, 1)
+	go func() {
+		coordErr <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-shard-size", "1",
+			"-spans", coordSpans,
+		}, io.Discard, io.Discard)
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator did not start")
+	}
+	url := "http://" + addr
+
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- run([]string{
+			"-worker", "-server", url,
+			"-name", "w1",
+			"-workers", "2",
+			"-poll", "10ms",
+			"-drain",
+			"-idle-exit", "5s",
+			"-spans", workerSpans,
+		}, io.Discard, io.Discard)
+	}()
+
+	if _, err := campaign.Run(e2eSpec(), campaign.Options{
+		ResultsPath: filepath.Join(dir, "remote.jsonl"),
+		Executor: &dist.RemoteShards{
+			Client: &dist.Client{BaseURL: url},
+			Poll:   10 * time.Millisecond,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Prometheus text exposition lives on the coordinator port.
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	for _, want := range []string{"# TYPE dist_units_done counter", "# TYPE go_goroutines gauge"} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("/metrics exposition missing %q", want)
+		}
+	}
+
+	// Span sinks flush on shutdown; stop both loops before reading.
+	if err := <-workerDone; err != nil {
+		t.Fatalf("worker loop: %v", err)
+	}
+	close(shutdownCh)
+	if err := <-coordErr; err != nil {
+		t.Fatalf("coordinator loop: %v", err)
+	}
+
+	// Merge the two span streams into a timeline via the real rttrace
+	// path and validate the trace-event document.
+	var spans []span.Span
+	for _, p := range []string{coordSpans, workerSpans} {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := span.ReadStream(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		spans = append(spans, ss...)
+	}
+	var timeline bytes.Buffer
+	if err := span.WriteTimeline(&timeline, spans); err != nil {
+		t.Fatalf("timeline: %v", err)
+	}
+	stats, err := span.ValidateTimeline(bytes.NewReader(timeline.Bytes()))
+	if err != nil {
+		t.Fatalf("timeline invalid: %v", err)
+	}
+	for _, want := range []string{
+		"coordinator.submit", "coordinator.partition", "coordinator.lease",
+		"coordinator.ingest", "worker.shard", "worker.point",
+	} {
+		found := false
+		for _, n := range stats.Names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("timeline missing %s spans; have %v", want, stats.Names)
+		}
+	}
+	if stats.Processes < 2 {
+		t.Errorf("timeline has %d process(es), want coordinator + worker", stats.Processes)
 	}
 }

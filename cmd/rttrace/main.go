@@ -3,10 +3,15 @@
 // invariant checks, blocking attribution against the Section 5.1
 // taxonomy, and optionally the raw event log.
 //
+// With -timeline it instead merges span streams (rtsweep -spans,
+// rtsweepd -spans) into Chrome trace-event JSON openable in
+// https://ui.perfetto.dev — see docs/observability.md.
+//
 // Usage:
 //
 //	rttrace -config system.json -trace run.json [-from 0] [-to 60] [-events]
 //	rttrace -config system.json -trace run.json -blocking [-protocol mpcp]
+//	rttrace -timeline -out timeline.json coord-spans.jsonl worker-spans.jsonl
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"mpcp/internal/analysis"
 	"mpcp/internal/config"
 	"mpcp/internal/obs"
+	"mpcp/internal/obs/span"
 	"mpcp/internal/task"
 	"mpcp/internal/trace"
 )
@@ -42,9 +48,14 @@ func run(args []string, out io.Writer) error {
 		protoName  = fs.String("protocol", "", "with -blocking: compare measured blocking to this protocol's analytical bound (mpcp or dpcp)")
 		horizon    = fs.Int("horizon", 0, "simulated horizon in ticks (0 = one past the last trace record)")
 		metricsOut = fs.String("metrics", "", "write a metrics snapshot derived from the trace as JSON to this file")
+		timeline   = fs.Bool("timeline", false, "merge the span-stream JSONL files given as arguments into Chrome trace-event JSON (Perfetto)")
+		timelineTo = fs.String("out", "", "with -timeline: output file (default stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeline {
+		return runTimeline(out, *timelineTo, fs.Args())
 	}
 	if *configPath == "" || *tracePath == "" {
 		return fmt.Errorf("missing -config or -trace")
@@ -130,6 +141,46 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, e)
 		}
 	}
+	return nil
+}
+
+// runTimeline merges one or more span-stream JSONL files into one
+// Chrome trace-event JSON document. Streams from different processes
+// (coordinator + workers) share trace and span IDs, so concatenating
+// them reassembles the distributed span tree.
+func runTimeline(out io.Writer, outPath string, paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-timeline needs at least one span-stream file argument")
+	}
+	var spans []span.Span
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		ss, err := span.ReadStream(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		spans = append(spans, ss...)
+	}
+
+	if outPath == "" {
+		return span.WriteTimeline(out, spans)
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := span.WriteTimeline(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "timeline with %d span(s) written to %s\n", len(spans), outPath)
 	return nil
 }
 

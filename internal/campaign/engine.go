@@ -7,10 +7,21 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"time"
 
 	"mpcp/internal/obs"
+	"mpcp/internal/obs/span"
 )
+
+// SpanExecutor is implemented by executors that can thread the
+// campaign's span context through their own instrumentation
+// (dist.RemoteShards propagates it to the coordinator over the
+// X-Rt-Trace header). Run installs the tracer and the campaign.run
+// root context before Execute.
+type SpanExecutor interface {
+	SetSpan(tr *span.Tracer, parent span.Context)
+}
 
 // Options tunes a campaign run.
 type Options struct {
@@ -43,6 +54,18 @@ type Options struct {
 	// dist.RemoteShards changes where points run, never what the result
 	// file contains.
 	Executor Executor
+
+	// Tracer, when set, emits campaign spans: one campaign.run root
+	// (keyed by spec name) plus a campaign.point span per evaluated
+	// point for local executors; executors implementing SpanExecutor
+	// (dist.RemoteShards) thread the root context through the service
+	// instead. Nil-safe; span identity never depends on timing.
+	Tracer *span.Tracer
+
+	// Span, when valid, parents the campaign.run root span — e.g. a
+	// CLI-level span or a test-fixed context. Zero means the root
+	// starts its own trace derived from the spec name.
+	Span span.Context
 
 	// Metrics, when set, receives live campaign instrumentation:
 	// campaign_points_total / _skipped / _done / _failures counters, a
@@ -142,6 +165,13 @@ func Run(spec *Spec, opts Options) (*Campaign, error) {
 	if exec == nil {
 		exec = &LocalPool{Workers: workers, Metrics: opts.Metrics}
 	}
+	root := opts.Tracer.Start(opts.Span, "campaign.run", spec.Name,
+		span.A("points", strconv.Itoa(len(points))),
+		span.A("skipped", strconv.Itoa(len(done))))
+	if se, ok := exec.(SpanExecutor); ok {
+		se.SetSpan(opts.Tracer, root.Context())
+	}
+	defer root.End()
 	start := time.Now() //rtlint:allow determinism wall-clock feeds Progress/Metrics timing only, never point results
 	prog := Progress{Total: len(points), Skipped: len(done), Done: len(done)}
 	// Iterate the spec-ordered points, not the done map, so progress

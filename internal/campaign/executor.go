@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mpcp/internal/obs"
+	"mpcp/internal/obs/span"
 )
 
 // An Executor evaluates the outstanding points of a campaign. Run owns
@@ -35,14 +36,27 @@ type LocalPool struct {
 	// histogram (observed worker-side) and the simulator fast-path
 	// odometer. Nil-safe.
 	Metrics *obs.Registry
+
+	// tracer and parent, installed by Run through SpanExecutor, wrap
+	// every point evaluation in a campaign.point span keyed by the
+	// point key — the span tree is identical for any worker count.
+	tracer *span.Tracer
+	parent span.Context
+}
+
+// SetSpan implements SpanExecutor.
+func (p *LocalPool) SetSpan(tr *span.Tracer, parent span.Context) {
+	p.tracer, p.parent = tr, parent
 }
 
 // Execute fans the points out over the worker pool.
 func (p *LocalPool) Execute(spec *Spec, points []Point, collect func(*PointResult)) error {
 	ForEach(p.Workers, points, func(_ int, pt Point) *PointResult {
+		sp := p.tracer.Start(p.parent, "campaign.point", pt.Key)
 		t0 := time.Now() //rtlint:allow determinism worker-side latency observation feeds the metrics histogram only
 		r := EvaluatePoint(spec, pt, p.Metrics)
 		p.Metrics.Histogram("campaign_point_us").Observe(time.Since(t0).Microseconds())
+		sp.End()
 		return r
 	}, func(_ int, r *PointResult) {
 		collect(r)

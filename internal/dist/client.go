@@ -14,6 +14,7 @@ import (
 	"mpcp/internal/campaign"
 	"mpcp/internal/conformance"
 	"mpcp/internal/obs"
+	"mpcp/internal/obs/span"
 )
 
 // Client is the HTTP client for a coordinator.
@@ -22,6 +23,19 @@ type Client struct {
 	BaseURL string
 	// HTTP overrides the transport; nil means http.DefaultClient.
 	HTTP *http.Client
+
+	// sc, when valid, is sent as the X-Rt-Trace header on every
+	// request so coordinator spans parent under the caller's span.
+	sc span.Context
+}
+
+// WithSpan returns a copy of the client that stamps every request with
+// the given span context (the X-Rt-Trace header). The zero context
+// returns a copy that sends no header.
+func (c *Client) WithSpan(sc span.Context) *Client {
+	cp := *c
+	cp.sc = sc
+	return &cp
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -55,6 +69,9 @@ func (c *Client) do(method, path string, body io.Reader, out any) error {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.sc.Valid() {
+		req.Header.Set(span.HeaderName, c.sc.Header())
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -159,6 +176,9 @@ func (c *Client) Results(jobID string, from int) ([]UnitResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: %w", err)
 	}
+	if c.sc.Valid() {
+		req.Header.Set(span.HeaderName, c.sc.Header())
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("dist: %w", err)
@@ -206,6 +226,18 @@ type RemoteShards struct {
 	// resume counts reported by the coordinator at submit
 	// (dist_remote_cached / dist_remote_resumed).
 	Metrics *obs.Registry
+
+	// tracer and parent are installed by campaign.Run through the
+	// campaign.SpanExecutor interface, so the submit span — and,
+	// through the X-Rt-Trace header, the whole coordinator-side tree —
+	// nests under the campaign's root span.
+	tracer *span.Tracer
+	parent span.Context
+}
+
+// SetSpan implements campaign.SpanExecutor.
+func (r *RemoteShards) SetSpan(tr *span.Tracer, parent span.Context) {
+	r.tracer, r.parent = tr, parent
 }
 
 // Execute implements campaign.Executor.
@@ -214,7 +246,17 @@ func (r *RemoteShards) Execute(spec *campaign.Spec, points []campaign.Point, col
 	for i, pt := range points {
 		keys[i] = pt.Key
 	}
-	sub, err := r.Client.Submit(KindSweep, SweepPayload{Spec: spec, Keys: keys})
+	payload := SweepPayload{Spec: spec, Keys: keys}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("dist: %w", err)
+	}
+	// The job ID is computable client-side (it is the content address
+	// of the submission), so the submit span can be keyed by it before
+	// the coordinator has even seen the job.
+	sp := r.tracer.Start(r.parent, "sweep.submit", contentID(KindSweep, raw))
+	client := r.Client.WithSpan(sp.Context())
+	sub, err := client.Submit(KindSweep, payload)
 	if err != nil {
 		return err
 	}
@@ -229,7 +271,14 @@ func (r *RemoteShards) Execute(spec *campaign.Spec, points []campaign.Point, col
 		collect(&pr)
 		return nil
 	}
-	return streamJob(r.Client, sub, r.Poll, collectUnit)
+	if err := streamJob(client, sub, r.Poll, collectUnit); err != nil {
+		return err
+	}
+	sp.EndWith(
+		span.A("cached", strconv.Itoa(sub.Cached)),
+		span.A("resumed", strconv.Itoa(sub.Resumed)),
+		span.A("units", strconv.Itoa(sub.Units)))
+	return nil
 }
 
 // streamJob polls the coordinator until every unit of the job has been

@@ -105,6 +105,11 @@ type LeaseResponse struct {
 	// without a second round trip.
 	Kind    string          `json:"kind,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+
+	// Span is the job's span context in X-Rt-Trace header form
+	// ("<trace>/<span>"), so worker shard spans join the job's trace.
+	// Empty when coordinator tracing is off.
+	Span string `json:"span,omitempty"`
 }
 
 // UnitResult is one computed unit, streamed to and from the coordinator

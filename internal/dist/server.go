@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mpcp/internal/obs"
+	"mpcp/internal/obs/span"
 )
 
 // Defaults for ServerOptions zero values.
@@ -53,6 +54,10 @@ type ServerOptions struct {
 	// expire leases deterministically); nil means time.Now. The clock
 	// orders leases only — results never depend on it.
 	Clock func() time.Time
+	// Tracer (nil-safe) emits coordinator spans: submit, partition,
+	// cache_hit, lease, expire and ingest, all keyed by job and shard
+	// IDs so span identity is deterministic (see internal/obs/span).
+	Tracer *span.Tracer
 }
 
 // Server is the sweep coordinator: it owns job state, shard leases, the
@@ -65,6 +70,7 @@ type Server struct {
 	shardSize int
 	leaseTTL  time.Duration
 	metrics   *obs.Registry
+	tracer    *span.Tracer
 	now       func() time.Time
 
 	mu    sync.Mutex
@@ -104,6 +110,11 @@ type job struct {
 	reclaimed  int
 	nextToken  int64
 
+	// root is the job's span context: every coordinator span for this
+	// job parents under it, and leases carry it to workers so their
+	// shard spans join the same trace.
+	root span.Context
+
 	checkpoint *bufio.Writer
 	checkfile  *os.File
 }
@@ -133,6 +144,7 @@ func NewServer(opts ServerOptions) *Server {
 		shardSize: shardSize,
 		leaseTTL:  ttl,
 		metrics:   opts.Metrics,
+		tracer:    opts.Tracer,
 		now:       clock,
 		jobs:      make(map[string]*job),
 	}
@@ -170,6 +182,13 @@ func (j *job) closeCheckpoint() error {
 // Submit registers a job (idempotently) and returns its status. It is
 // the in-process form of POST /v1/jobs.
 func (s *Server) Submit(req SubmitRequest) (*SubmitResponse, error) {
+	return s.submit(req, span.Context{})
+}
+
+// submit is Submit with a span parent (from the X-Rt-Trace header on
+// the HTTP path). With no parent, the job's trace derives from the
+// job's content address, so identical submissions join one trace.
+func (s *Server) submit(req SubmitRequest, parent span.Context) (*SubmitResponse, error) {
 	runner := s.runners[req.Kind]
 	if runner == nil {
 		return nil, fmt.Errorf("dist: unknown job kind %q", req.Kind)
@@ -186,12 +205,17 @@ func (s *Server) Submit(req SubmitRequest) (*SubmitResponse, error) {
 		return &SubmitResponse{JobID: j.id, Units: len(j.results), Cached: j.cachedUnits, Resumed: j.resumedUnits}, nil
 	}
 
+	if !parent.Valid() {
+		parent = span.NewTrace(id)
+	}
+	sub := s.tracer.Start(parent, "coordinator.submit", id, span.A("kind", req.Kind))
 	j := &job{
 		id:      id,
 		kind:    req.Kind,
 		payload: append(json.RawMessage(nil), req.Payload...),
 		task:    task,
 		results: make([]*UnitResult, task.Units()),
+		root:    sub.Context(),
 	}
 	if err := s.restoreCheckpoint(j); err != nil {
 		return nil, err
@@ -209,8 +233,12 @@ func (s *Server) Submit(req SubmitRequest) (*SubmitResponse, error) {
 		j.doneUnits++
 		j.cachedUnits++
 		j.failures += failures
+		hit := s.tracer.Start(sub.Context(), "coordinator.cache_hit", task.Key(i))
+		hit.End()
 	}
+	part := s.tracer.Start(sub.Context(), "coordinator.partition", id)
 	j.shards = partition(j.results, s.shardSize)
+	part.EndWith(span.A("shards", strconv.Itoa(len(j.shards))))
 	if s.dataDir != "" && j.doneUnits < len(j.results) {
 		if err := s.openCheckpoint(j); err != nil {
 			return nil, err
@@ -220,6 +248,10 @@ func (s *Server) Submit(req SubmitRequest) (*SubmitResponse, error) {
 	s.order = append(s.order, id)
 	s.metrics.Counter("dist_jobs_total").Inc()
 	s.metrics.Counter("dist_units_total").Add(int64(len(j.results)))
+	sub.EndWith(
+		span.A("cached", strconv.Itoa(j.cachedUnits)),
+		span.A("resumed", strconv.Itoa(j.resumedUnits)),
+		span.A("units", strconv.Itoa(len(j.results))))
 	return &SubmitResponse{JobID: id, Units: len(j.results), Cached: j.cachedUnits, Resumed: j.resumedUnits}, nil
 }
 
@@ -322,6 +354,9 @@ func (s *Server) Lease(req LeaseRequest) *LeaseResponse {
 				reclaimed = true
 				j.reclaimed++
 				s.metrics.Counter("dist_leases_reclaimed").Inc()
+				expire := s.tracer.Start(j.root, "coordinator.expire", shardKey(j.id, si),
+					span.A("worker", sh.worker))
+				expire.End()
 			case shardPending:
 			}
 			j.nextToken++
@@ -330,6 +365,12 @@ func (s *Server) Lease(req LeaseRequest) *LeaseResponse {
 			sh.token = j.nextToken
 			sh.deadline = now.Add(s.leaseTTL)
 			s.metrics.Counter("dist_leases_granted").Inc()
+			lease := s.tracer.Start(j.root, "coordinator.lease", shardKey(j.id, si),
+				span.A("worker", req.Worker))
+			if reclaimed {
+				lease.SetAttr("reclaimed", "true")
+			}
+			lease.End()
 			return &LeaseResponse{
 				JobID:     j.id,
 				Shard:     si,
@@ -339,6 +380,7 @@ func (s *Server) Lease(req LeaseRequest) *LeaseResponse {
 				Reclaimed: reclaimed,
 				Kind:      j.kind,
 				Payload:   j.payload,
+				Span:      j.root.Header(),
 			}
 		}
 	}
@@ -359,11 +401,27 @@ func (s *Server) Lease(req LeaseRequest) *LeaseResponse {
 // times its shard ran. It is the in-process form of
 // POST /v1/jobs/{id}/shards/{shard}/results.
 func (s *Server) Ingest(jobID string, shardIdx int, token int64, results []UnitResult) (*IngestResponse, error) {
+	return s.ingest(jobID, shardIdx, token, results, span.Context{})
+}
+
+// shardKey is the stable span key of one shard of one job.
+func shardKey(jobID string, shard int) string {
+	return jobID + "/" + strconv.Itoa(shard)
+}
+
+// ingest is Ingest with a span parent. The parent normally arrives in
+// the X-Rt-Trace header from the worker's shard span, so the ingest
+// span nests under the computation that produced the results; without
+// one it falls back to the job's root context.
+func (s *Server) ingest(jobID string, shardIdx int, token int64, results []UnitResult, parent span.Context) (*IngestResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j := s.jobs[jobID]
 	if j == nil {
 		return nil, errNotFound{fmt.Sprintf("unknown job %q", jobID)}
+	}
+	if !parent.Valid() {
+		parent = j.root
 	}
 	if shardIdx < 0 || shardIdx >= len(j.shards) {
 		return nil, errNotFound{fmt.Sprintf("job %s has no shard %d", jobID, shardIdx)}
@@ -372,6 +430,7 @@ func (s *Server) Ingest(jobID string, shardIdx int, token int64, results []UnitR
 	if sh.state != shardLeased || sh.token != token {
 		return nil, errConflict{fmt.Sprintf("job %s shard %d: lease token %d is not current", jobID, shardIdx, token)}
 	}
+	ing := s.tracer.Start(parent, "coordinator.ingest", shardKey(jobID, shardIdx))
 	inShard := make(map[int]bool, len(sh.units))
 	for _, u := range sh.units {
 		inShard[u] = true
@@ -428,6 +487,9 @@ func (s *Server) Ingest(jobID string, shardIdx int, token int64, results []UnitR
 			return nil, fmt.Errorf("dist: checkpoint: %w", err)
 		}
 	}
+	ing.EndWith(
+		span.A("accepted", strconv.Itoa(resp.Accepted)),
+		span.A("shard_done", strconv.FormatBool(resp.ShardDone)))
 	return resp, nil
 }
 
@@ -493,15 +555,17 @@ func (e errConflict) Error() string   { return "dist: " + e.msg }
 func (e errBadRequest) Error() string { return "dist: " + e.msg }
 
 // Handler returns the coordinator's HTTP API plus the ops endpoint:
-// /metrics.json, /debug/vars and /debug/pprof/ (obs.DebugHandler over
-// the server's registry), with per-route request-count and latency
-// metrics folded into the same registry.
+// /metrics (Prometheus text exposition), /metrics.json, /debug/vars
+// and /debug/pprof/ (obs.DebugHandler over the server's registry),
+// with per-route request-count and latency metrics folded into the
+// same registry.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.instrument("submit", s.handleSubmit))
 	mux.HandleFunc("/v1/lease", s.instrument("lease", s.handleLease))
 	mux.HandleFunc("/v1/jobs/", s.instrument("jobs", s.handleJob))
 	debug := obs.DebugHandler(s.metrics)
+	mux.Handle("/metrics", debug)
 	mux.Handle("/metrics.json", debug)
 	mux.Handle("/debug/", debug)
 	return mux
@@ -548,7 +612,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	resp, err := s.Submit(req)
+	parent, _ := span.ParseHeader(r.Header.Get(span.HeaderName))
+	resp, err := s.submit(req, parent)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
@@ -652,7 +717,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, jobID, sha
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	resp, err := s.Ingest(jobID, shardIdx, token, results)
+	parent, _ := span.ParseHeader(r.Header.Get(span.HeaderName))
+	resp, err := s.ingest(jobID, shardIdx, token, results, parent)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -1,0 +1,189 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpcp/internal/campaign"
+	"mpcp/internal/obs/span"
+)
+
+// tickClock is a deterministic, goroutine-safe span timestamp source.
+func tickClock() func() int64 {
+	var t atomic.Int64
+	return func() int64 { return t.Add(1000) }
+}
+
+// runSpannedSweep drives one full distributed sweep — campaign client,
+// coordinator and a single worker, all sharing one span log — and
+// returns the emitted spans.
+func runSpannedSweep(t *testing.T) []span.Span {
+	t.Helper()
+	log := &span.Log{}
+	clock := tickClock()
+	clientTr := span.NewWithClock(log, "client", clock)
+	coordTr := clientTr.WithActor("coordinator")
+	workerTr := clientTr.WithActor("w1")
+
+	_, client := newTestServer(t, ServerOptions{ShardSize: 1, Tracer: coordTr})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &Worker{
+		Client:     client,
+		Name:       "w1",
+		Workers:    1,
+		Poll:       2 * time.Millisecond,
+		ExitOnDone: true,
+		Tracer:     workerTr,
+	}
+	workerDone := make(chan error, 1)
+	go func() {
+		_, err := w.Run(ctx)
+		workerDone <- err
+	}()
+
+	path := filepath.Join(t.TempDir(), "remote.jsonl")
+	_, err := campaign.Run(testSpec(), campaign.Options{
+		ResultsPath: path,
+		Tracer:      clientTr,
+		Executor:    &RemoteShards{Client: client, Poll: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if err := <-workerDone; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	return log.Spans
+}
+
+// TestSpanTreeDeterministic is the acceptance gate for the tracing
+// plane: two runs of the same distributed job yield byte-identical
+// span trees once the timestamp fields are stripped.
+func TestSpanTreeDeterministic(t *testing.T) {
+	first := span.Canonical(runSpannedSweep(t))
+	second := span.Canonical(runSpannedSweep(t))
+	if !bytes.Equal(first, second) {
+		t.Errorf("span trees differ between identical runs:\n%s\nvs\n%s", first, second)
+	}
+	if len(first) == 0 {
+		t.Fatal("no spans emitted")
+	}
+}
+
+// TestSpanTreeShape checks the cross-boundary parenting: campaign.run
+// → sweep.submit → coordinator.submit, lease/ingest under the job,
+// worker.shard joined via the lease header, worker.point under its
+// shard — all in one trace.
+func TestSpanTreeShape(t *testing.T) {
+	spans := runSpannedSweep(t)
+	byName := make(map[string][]span.Span)
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	for _, name := range []string{
+		"campaign.run", "sweep.submit", "coordinator.submit",
+		"coordinator.partition", "coordinator.lease", "coordinator.ingest",
+		"worker.shard", "worker.point",
+	} {
+		if len(byName[name]) == 0 {
+			t.Fatalf("no %s span emitted; have %v", name, names(spans))
+		}
+	}
+	trace := byName["campaign.run"][0].Trace
+	byID := make(map[string]span.Span)
+	for _, s := range spans {
+		if s.Trace != trace {
+			t.Errorf("span %s in trace %s, want everything in %s", s.Name, s.Trace, trace)
+		}
+		byID[s.ID] = s
+	}
+	// 4 points, shard size 1: one lease, shard, ingest and point each.
+	if n := len(byName["coordinator.lease"]); n != 4 {
+		t.Errorf("lease spans = %d, want 4", n)
+	}
+	if n := len(byName["worker.point"]); n != 4 {
+		t.Errorf("point spans = %d, want 4", n)
+	}
+	check := func(child span.Span, wantParentName string) {
+		p, ok := byID[child.Parent]
+		if !ok {
+			t.Errorf("%s: parent %q not found", child.Name, child.Parent)
+			return
+		}
+		if p.Name != wantParentName {
+			t.Errorf("%s parented under %s, want %s", child.Name, p.Name, wantParentName)
+		}
+	}
+	check(byName["sweep.submit"][0], "campaign.run")
+	check(byName["coordinator.submit"][0], "sweep.submit")
+	check(byName["coordinator.partition"][0], "coordinator.submit")
+	for _, s := range byName["coordinator.lease"] {
+		check(s, "coordinator.submit")
+	}
+	for _, s := range byName["worker.shard"] {
+		check(s, "coordinator.submit")
+	}
+	for _, s := range byName["worker.point"] {
+		check(s, "worker.shard")
+	}
+	for _, s := range byName["coordinator.ingest"] {
+		check(s, "worker.shard")
+	}
+	// Actor attribution survives the shared sink.
+	if a := byName["coordinator.lease"][0].Actor; a != "coordinator" {
+		t.Errorf("lease actor = %q", a)
+	}
+	if a := byName["worker.shard"][0].Actor; a != "w1" {
+		t.Errorf("shard actor = %q", a)
+	}
+	if a := byName["campaign.run"][0].Actor; a != "client" {
+		t.Errorf("campaign actor = %q", a)
+	}
+}
+
+// TestCacheHitSpans: a resubmission against a warm cache emits
+// coordinator.cache_hit spans instead of lease/point work.
+func TestCacheHitSpans(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := NewCache(filepath.Join(dir, "cache"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &span.Log{}
+	tr := span.NewWithClock(log, "coordinator", tickClock())
+
+	// First server fills the cache.
+	srv1, client1 := newTestServer(t, ServerOptions{ShardSize: 1, Cache: reg})
+	_ = srv1
+	submitSweep(t, client1, testSpec())
+	newManualWorker(t, client1).drain("filler")
+
+	// Second server, same cache: every unit is a cache hit.
+	_, client2 := newTestServer(t, ServerOptions{ShardSize: 1, Cache: reg, Tracer: tr})
+	sub2 := submitSweep(t, client2, testSpec())
+	if sub2.Cached != sub2.Units {
+		t.Fatalf("cached %d of %d units", sub2.Cached, sub2.Units)
+	}
+	var hits int
+	for _, s := range log.Spans {
+		if s.Name == "coordinator.cache_hit" {
+			hits++
+		}
+	}
+	if hits != sub2.Units {
+		t.Errorf("cache_hit spans = %d, want %d", hits, sub2.Units)
+	}
+}
+
+func names(spans []span.Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}

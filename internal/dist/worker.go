@@ -3,10 +3,12 @@ package dist
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"mpcp/internal/campaign"
 	"mpcp/internal/obs"
+	"mpcp/internal/obs/span"
 )
 
 // Worker is the pull-mode compute loop: lease a shard from the
@@ -41,6 +43,10 @@ type Worker struct {
 	// Metrics (nil-safe) accumulates worker-side instrumentation:
 	// dist_worker_shards / _units / _stale_leases counters.
 	Metrics *obs.Registry
+	// Tracer (nil-safe) emits worker.shard and worker.point spans,
+	// parented under the job context carried in the lease response so
+	// they join the coordinator's trace.
+	Tracer *span.Tracer
 }
 
 // WorkerStats summarizes one Run.
@@ -103,11 +109,14 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 			}
 			tasks[lease.JobID] = task
 		}
-		results, err := w.computeShard(task, lease.Units)
+		jobCtx, _ := span.ParseHeader(lease.Span)
+		shardSpan := w.Tracer.Start(jobCtx, "worker.shard", shardKey(lease.JobID, lease.Shard),
+			span.A("worker", w.Name))
+		results, err := w.computeShard(task, lease.Units, shardSpan.Context())
 		if err != nil {
 			return stats, err
 		}
-		resp, err := w.Client.SubmitResults(lease.JobID, lease.Shard, lease.Token, results)
+		resp, err := w.Client.WithSpan(shardSpan.Context()).SubmitResults(lease.JobID, lease.Shard, lease.Token, results)
 		if err != nil {
 			if isConflict(err) {
 				// Lease stolen while computing: the thief owns the
@@ -115,6 +124,7 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 				// identical to ours. Drop and move on.
 				stats.StaleLeases++
 				w.Metrics.Counter("dist_worker_stale_leases").Inc()
+				shardSpan.EndWith(span.A("stale", "true"))
 				continue
 			}
 			return stats, err
@@ -123,16 +133,19 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 		stats.Units += resp.Accepted
 		w.Metrics.Counter("dist_worker_shards").Inc()
 		w.Metrics.Counter("dist_worker_units").Add(int64(resp.Accepted))
+		shardSpan.EndWith(span.A("units", strconv.Itoa(len(lease.Units))))
 	}
 }
 
 // computeShard evaluates the shard's units on the in-process pool.
 // Results are placed by index, so completion order never leaks.
-func (w *Worker) computeShard(task Task, units []int) ([]UnitResult, error) {
+func (w *Worker) computeShard(task Task, units []int, parent span.Context) ([]UnitResult, error) {
 	out := make([]UnitResult, len(units))
 	var firstErr error
 	campaign.ForEach(w.Workers, units, func(_ int, unit int) UnitResult {
+		pt := w.Tracer.Start(parent, "worker.point", task.Key(unit))
 		result, failures, err := task.Run(unit, w.Metrics)
+		pt.End()
 		if err != nil {
 			return UnitResult{Unit: -1}
 		}

@@ -39,7 +39,10 @@ func (s Scoped) Applies(importPath string) bool {
 //     one blessed fan-out point; its collector serializes results back
 //     into spec order, which the byte-identical-across-workers tests
 //     verify at runtime. internal/dist itself spawns no goroutines —
-//     its concurrency lives in net/http and the blessed pool.
+//     its concurrency lives in net/http and the blessed pool. The span
+//     tracer (internal/obs/span) is in scope because span *identity*
+//     must derive from stable keys; its single wall-clock read (span
+//     timestamps, presentation-only) carries an allow annotation.
 //   - lockdiscipline guards every package that holds a sync mutex near
 //     the substrate or its observers: shmem, pqueue, obs, server — and
 //     the dist coordinator, whose single mutex orders all job state.
@@ -62,6 +65,7 @@ func DefaultSuite() []Scoped {
 				"mpcp/internal/campaign",
 				"mpcp/internal/workload",
 				"mpcp/internal/dist",
+				"mpcp/internal/obs/span",
 			},
 		},
 		{

@@ -9,17 +9,27 @@ import (
 
 // DebugHandler serves live instrumentation for a running process:
 //
+//	/metrics       – Prometheus text exposition (format 0.0.4)
 //	/metrics.json  – the registry's snapshot in the stable schema
 //	/debug/vars    – expvar (Go runtime and process counters)
 //	/debug/pprof/  – the standard profiling endpoints
 //
-// The handler snapshots the registry on every request, so it can be
-// polled while a campaign is running.
+// The handler refreshes the Go runtime gauges (CollectRuntime) and
+// snapshots the registry on every request, so it can be polled or
+// scraped while a campaign is running.
 func DebugHandler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		CollectRuntime(reg)
 		w.Header().Set("Content-Type", "application/json")
 		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		CollectRuntime(reg)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.Snapshot().WritePrometheus(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format 0.0.4) for the registry. The
+// registry's inline-label naming convention — response_ticks{task=3} —
+// maps directly onto Prometheus's data model: the text before '{' is
+// the family name, the key=value pairs become properly quoted labels.
+// Families are grouped under one # TYPE line each and emitted in
+// sorted order, so equal snapshots expose equal bytes, same as the
+// JSON form.
+
+// promName splits a registry metric name into its family name and
+// rendered label set. "a{k=v,k2=v2}" → ("a", `{k="v",k2="v2"}`);
+// a name without labels returns ("a", "").
+func promName(name string) (family, labels string) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return sanitizeFamily(name), ""
+	}
+	family = sanitizeFamily(name[:open])
+	inner := name[open+1 : len(name)-1]
+	if inner == "" {
+		return family, ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, pair := range strings.Split(inner, ",") {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		k, v, found := strings.Cut(pair, "=")
+		if !found {
+			k, v = "label", pair
+		}
+		b.WriteString(sanitizeFamily(k))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return family, b.String()
+}
+
+// sanitizeFamily maps a name onto the Prometheus identifier alphabet
+// [a-zA-Z0-9_:], replacing anything else with '_'.
+func sanitizeFamily(s string) string {
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			c = '_'
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// mergeLabels splices an extra label (le="...") into a rendered label
+// set, keeping the braces balanced.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// promFamily accumulates the samples of one family.
+type promFamily struct {
+	name    string
+	kind    string // "counter", "gauge", "histogram"
+	samples []string
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format 0.0.4: one # TYPE line per family, histogram
+// buckets made cumulative with a +Inf terminator plus _sum and _count
+// series. Output is deterministic for equal snapshots.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	byName := make(map[string]*promFamily)
+	var order []string
+	family := func(name, kind string) *promFamily {
+		f := byName[name]
+		if f == nil {
+			f = &promFamily{name: name, kind: kind}
+			byName[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+
+	for _, c := range s.Counters {
+		name, labels := promName(c.Name)
+		f := family(name, "counter")
+		f.samples = append(f.samples, fmt.Sprintf("%s%s %d", name, labels, c.Value))
+	}
+	for _, g := range s.Gauges {
+		name, labels := promName(g.Name)
+		f := family(name, "gauge")
+		f.samples = append(f.samples,
+			fmt.Sprintf("%s%s %s", name, labels, strconv.FormatFloat(g.Value, 'g', -1, 64)))
+	}
+	for _, h := range s.Histograms {
+		name, labels := promName(h.Name)
+		f := family(name, "histogram")
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			f.samples = append(f.samples, fmt.Sprintf("%s_bucket%s %d",
+				name, mergeLabels(labels, fmt.Sprintf(`le="%d"`, b.LE)), cum))
+		}
+		f.samples = append(f.samples,
+			fmt.Sprintf("%s_bucket%s %d", name, mergeLabels(labels, `le="+Inf"`), h.Count),
+			fmt.Sprintf("%s_sum%s %d", name, labels, h.Sum),
+			fmt.Sprintf("%s_count%s %d", name, labels, h.Count))
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		f := byName[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		// Samples inherit the snapshot's sorted-by-name order, which
+		// sorts label sets within the family.
+		for _, line := range f.samples {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package obs
+
+import "runtime"
+
+// CollectRuntime refreshes the Go runtime gauges on reg: goroutine
+// count, heap allocation and cumulative GC pause. Collected at scrape
+// time by the debug endpoints (not continuously) so an idle process
+// costs nothing; safe on a nil registry like every collector.
+func CollectRuntime(reg *Registry) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	reg.Gauge("go_goroutines").Set(float64(runtime.NumGoroutine()))
+	reg.Gauge("go_heap_alloc_bytes").Set(float64(m.HeapAlloc))
+	reg.Gauge("go_gc_pause_total_ns").Set(float64(m.PauseTotalNs))
+}

@@ -1,0 +1,35 @@
+package span
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkSpanDisabled measures the cost of instrumentation when
+// tracing is off: a nil tracer's Start must be (near-)free so every
+// call site can stay unconditional.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	parent := NewTrace("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start(parent, "bench.point", "k")
+		s.End()
+	}
+}
+
+// BenchmarkSpanStreamed measures a full span lifecycle — derive IDs,
+// stamp clocks, encode to a JSONL stream — against a discard writer.
+func BenchmarkSpanStreamed(b *testing.B) {
+	sink := NewStreamSink(io.Discard)
+	tr := New(sink, "bench")
+	parent := NewTrace("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start(parent, "bench.point", "k", A("i", "x"))
+		s.End()
+	}
+	if err := sink.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,314 @@
+// Package span is the deterministic span tracer: the timing plane that
+// shows where wall-clock time goes across a sweep — job → shard → lease
+// → point → simulation — the way internal/obs's blocking attribution
+// shows where simulated ticks go inside a run.
+//
+// The defining property is that span *identity* is deterministic. A
+// span's trace ID, span ID and parent ID derive from stable keys alone
+// — job IDs, shard indices, point keys — never from wall clocks,
+// math/rand or memory addresses. Two runs of the same job therefore
+// produce the same span tree (same IDs, names, keys, parents and
+// attributes); only the timestamp fields differ, and Canonical strips
+// exactly those. A retried shard (an expired lease stolen by another
+// worker) re-emits spans with the *same* IDs: span identity is
+// content-addressed like the work itself, so duplicates mean "the same
+// logical work ran again", mirroring the service's at-least-once
+// execution.
+//
+// Spans cross the HTTP boundary in the X-Rt-Trace header (Context.
+// Header / ParseHeader), stream to JSONL via StreamSink (the
+// trace.Sink idiom), and export to Chrome trace-event JSON with
+// WriteTimeline so a whole distributed sweep opens in Perfetto. See
+// docs/observability.md for the span taxonomy.
+package span
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HeaderName is the HTTP header that carries a span Context across
+// process boundaries, as rendered by Context.Header.
+const HeaderName = "X-Rt-Trace"
+
+// Attr is one key=value annotation on a span. Attribute values must be
+// deterministic (derived from the work, not from timing) for the
+// canonical-tree guarantee to hold; timing belongs in the metrics
+// registry, not in span attributes.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// A is shorthand for constructing an Attr.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one completed span. Start and Dur are the only
+// nondeterministic fields; everything else is a pure function of the
+// work's stable keys.
+type Span struct {
+	// Trace groups every span of one logical operation (one job, one
+	// campaign run).
+	Trace string `json:"trace"`
+	// ID is the span's content-derived identity within the trace.
+	ID string `json:"id"`
+	// Parent is the enclosing span's ID; empty for roots.
+	Parent string `json:"parent,omitempty"`
+	// Name is the taxonomy name, e.g. "coordinator.lease".
+	Name string `json:"name"`
+	// Key is the stable instance key, e.g. a point key or "job/shard".
+	Key string `json:"key,omitempty"`
+	// Actor is the emitting party ("coordinator", a worker name).
+	Actor string `json:"actor,omitempty"`
+	// Attrs are sorted by key at emission.
+	Attrs []Attr `json:"attrs,omitempty"`
+	// Start is the wall-clock start in nanoseconds; Dur the duration.
+	// These are the timestamp fields Canonical strips.
+	Start int64 `json:"start_ns"`
+	Dur   int64 `json:"dur_ns"`
+}
+
+// Context identifies a position in a trace: the trace plus the span
+// new children should parent under. The zero Context is "no trace".
+type Context struct {
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
+}
+
+// Valid reports whether the context names a trace.
+func (c Context) Valid() bool { return c.Trace != "" }
+
+// Header renders the context for the X-Rt-Trace header:
+// "<trace>/<span>". The zero context renders empty.
+func (c Context) Header() string {
+	if !c.Valid() {
+		return ""
+	}
+	return c.Trace + "/" + c.Span
+}
+
+// ParseHeader parses an X-Rt-Trace header value. ok is false for an
+// empty or malformed value, which callers treat as "no parent".
+func ParseHeader(s string) (Context, bool) {
+	trace, sp, found := strings.Cut(s, "/")
+	if !found || trace == "" {
+		return Context{}, false
+	}
+	return Context{Trace: trace, Span: sp}, true
+}
+
+// derive hashes parts into a short stable identifier with the given
+// prefix. 16 hex digits of SHA-256 over NUL-joined parts — the same
+// content-addressing recipe the dist job IDs use.
+func derive(prefix string, parts ...string) string {
+	h := sha256.New()
+	for i, p := range parts {
+		if i > 0 {
+			h.Write([]byte{0})
+		}
+		h.Write([]byte(p))
+	}
+	return prefix + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// NewTrace derives the context of a fresh trace from a stable key (a
+// job ID, a spec name). The same key always yields the same trace ID,
+// so resubmitting a job attaches new spans to the same trace.
+func NewTrace(key string) Context {
+	return Context{Trace: derive("t", key)}
+}
+
+// state is the part of a tracer shared between WithActor copies: the
+// sink, its guard and the latched first error.
+type state struct {
+	mu   sync.Mutex
+	sink Sink
+	err  error
+}
+
+// Tracer emits spans to a sink. It is safe for concurrent use — pool
+// workers and HTTP handlers emit while holding no coordination beyond
+// the tracer's own lock. A nil *Tracer is a valid no-op: Start returns
+// a nil *Active whose methods all no-op, so instrumented code needs no
+// nil checks (the obs.Registry convention).
+type Tracer struct {
+	st    *state
+	actor string
+	clock func() int64
+}
+
+// New returns a tracer emitting to sink, labeling spans with actor.
+// The default clock is the wall clock; timestamps are presentation
+// only and never feed span identity.
+func New(sink Sink, actor string) *Tracer {
+	return NewWithClock(sink, actor, wallClock)
+}
+
+// NewWithClock is New with an explicit nanosecond clock — tests inject
+// a fake one to make timestamp fields reproducible.
+func NewWithClock(sink Sink, actor string, clock func() int64) *Tracer {
+	return &Tracer{st: &state{sink: sink}, actor: actor, clock: clock}
+}
+
+// wallClock reads wall time for span timestamps.
+func wallClock() int64 {
+	return time.Now().UnixNano() //rtlint:allow determinism span timestamps are presentation-only; span identity and tree shape derive from stable keys
+}
+
+// WithActor returns a tracer sharing this tracer's sink and error
+// state but labeling spans with a different actor — one process, one
+// sink, several logical parties (a coordinator and its embedded
+// workers).
+func (t *Tracer) WithActor(actor string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	cp := *t
+	cp.actor = actor
+	return &cp
+}
+
+// Err returns the first sink error, if any. Spans after a sink failure
+// are dropped; the tracer never fails the computation it observes.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.st.mu.Lock()
+	defer t.st.mu.Unlock()
+	return t.st.err
+}
+
+// Start opens a span under parent. The span's IDs derive from
+// (parent, name, key) alone; a zero parent starts a fresh trace
+// derived from (name, key). End (or EndWith) emits the completed span.
+func (t *Tracer) Start(parent Context, name, key string, attrs ...Attr) *Active {
+	if t == nil {
+		return nil
+	}
+	trace := parent.Trace
+	if trace == "" {
+		trace = derive("t", name, key)
+	}
+	a := &Active{
+		t: t,
+		span: Span{
+			Trace:  trace,
+			ID:     derive("s", trace, parent.Span, name, key),
+			Parent: parent.Span,
+			Name:   name,
+			Key:    key,
+			Actor:  t.actor,
+			Start:  t.clock(),
+		},
+	}
+	a.span.Attrs = append(a.span.Attrs, attrs...)
+	return a
+}
+
+// Active is a started, not-yet-emitted span. All methods are nil-safe.
+// An Active must be ended by the goroutine that started it (or after
+// the starting work has completed); it is not itself goroutine-safe.
+type Active struct {
+	t     *Tracer
+	span  Span
+	ended bool
+}
+
+// Context returns the context children and cross-process propagation
+// should parent under. On a nil Active it returns the zero Context, so
+// a disabled tracer simply yields unparented downstream spans.
+func (a *Active) Context() Context {
+	if a == nil {
+		return Context{}
+	}
+	return Context{Trace: a.span.Trace, Span: a.span.ID}
+}
+
+// SetAttr adds an attribute before End.
+func (a *Active) SetAttr(key, value string) {
+	if a == nil || a.ended {
+		return
+	}
+	a.span.Attrs = append(a.span.Attrs, Attr{Key: key, Value: value})
+}
+
+// End completes the span and emits it. Repeated Ends are no-ops.
+func (a *Active) End() { a.EndWith() }
+
+// EndWith adds final attributes, completes the span and emits it.
+func (a *Active) EndWith(attrs ...Attr) {
+	if a == nil || a.ended {
+		return
+	}
+	a.ended = true
+	a.span.Attrs = append(a.span.Attrs, attrs...)
+	sortAttrs(a.span.Attrs)
+	a.span.Dur = a.t.clock() - a.span.Start
+	a.t.emit(a.span)
+}
+
+// emit hands the completed span to the sink, latching the first error.
+func (t *Tracer) emit(s Span) {
+	t.st.mu.Lock()
+	defer t.st.mu.Unlock()
+	if t.st.err != nil {
+		return
+	}
+	if err := t.st.sink.Span(s); err != nil {
+		t.st.err = err
+	}
+}
+
+// sortAttrs orders attributes by key (stable, so duplicate keys keep
+// insertion order), making attribute order deterministic regardless of
+// the order SetAttr calls interleaved.
+func sortAttrs(attrs []Attr) {
+	sort.SliceStable(attrs, func(i, j int) bool { return attrs[i].Key < attrs[j].Key })
+}
+
+// Canonical renders spans in the deterministic comparison form: the
+// timestamp fields (Start, Dur) are zeroed, duplicate re-emissions of
+// the same span ID are collapsed to one, the set is sorted by
+// (Trace, Name, Key, ID, Actor), and the result is one JSON object per
+// line. Two runs of the same job yield byte-identical Canonical output
+// — the property the determinism tests assert.
+func Canonical(spans []Span) []byte {
+	cp := make([]Span, 0, len(spans))
+	seen := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		dedup := s.Trace + "\x00" + s.ID + "\x00" + s.Actor
+		if seen[dedup] {
+			continue
+		}
+		seen[dedup] = true
+		s.Start, s.Dur = 0, 0
+		cp = append(cp, s)
+	}
+	sort.Slice(cp, func(i, j int) bool {
+		a, b := cp[i], cp[j]
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Actor < b.Actor
+	})
+	var buf strings.Builder
+	for _, s := range cp {
+		buf.WriteString(canonicalLine(s))
+		buf.WriteByte('\n')
+	}
+	return []byte(buf.String())
+}

@@ -1,0 +1,256 @@
+package span
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fakeClock returns a deterministic nanosecond clock for tests.
+func fakeClock() func() int64 {
+	var t int64
+	return func() int64 {
+		t += 1000
+		return t
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	root := NewTrace("jobA")
+	if root.Trace == "" || root.Span != "" {
+		t.Fatalf("NewTrace: %+v", root)
+	}
+	if root != NewTrace("jobA") {
+		t.Error("same key should derive the same trace")
+	}
+	if root == NewTrace("jobB") {
+		t.Error("different keys should derive different traces")
+	}
+
+	var log Log
+	tr := NewWithClock(&log, "coord", fakeClock())
+	a := tr.Start(root, "coordinator.submit", "jobA")
+	b := tr.Start(root, "coordinator.submit", "jobA")
+	c := tr.Start(root, "coordinator.submit", "jobB")
+	d := tr.Start(a.Context(), "coordinator.submit", "jobA")
+	if a.Context() != b.Context() {
+		t.Error("identical (parent,name,key) should yield identical span IDs")
+	}
+	if a.Context() == c.Context() {
+		t.Error("different keys should yield different span IDs")
+	}
+	if a.Context() == d.Context() {
+		t.Error("different parents should yield different span IDs")
+	}
+	a.End()
+	b.End()
+	c.End()
+	d.End()
+	if len(log.Spans) != 4 {
+		t.Fatalf("emitted %d spans, want 4", len(log.Spans))
+	}
+	if log.Spans[3].Parent != a.Context().Span {
+		t.Errorf("child parent = %q, want %q", log.Spans[3].Parent, a.Context().Span)
+	}
+
+	// A zero parent derives a fresh trace from (name, key).
+	orphan := tr.Start(Context{}, "campaign.run", "spec1")
+	orphan2 := tr.Start(Context{}, "campaign.run", "spec1")
+	if orphan.Context() != orphan2.Context() {
+		t.Error("zero-parent spans with the same name/key should match")
+	}
+	if !orphan.Context().Valid() {
+		t.Error("zero-parent span should still carry a trace")
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	a := tr.Start(NewTrace("x"), "noop", "k")
+	if a != nil {
+		t.Fatal("nil tracer should return nil Active")
+	}
+	// All of these must be safe on nil.
+	a.SetAttr("k", "v")
+	a.EndWith(A("k2", "v2"))
+	a.End()
+	if got := a.Context(); got.Valid() {
+		t.Errorf("nil Active context = %+v, want zero", got)
+	}
+	if tr.WithActor("other") != nil {
+		t.Error("WithActor on nil tracer should stay nil")
+	}
+	if tr.Err() != nil {
+		t.Error("Err on nil tracer should be nil")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	var log Log
+	tr := NewWithClock(&log, "w", fakeClock())
+	a := tr.Start(NewTrace("job"), "worker.shard", "job/3")
+	h := a.Context().Header()
+	if h == "" || !strings.Contains(h, "/") {
+		t.Fatalf("header = %q", h)
+	}
+	got, ok := ParseHeader(h)
+	if !ok || got != a.Context() {
+		t.Errorf("ParseHeader(%q) = %+v, %v; want %+v", h, got, ok, a.Context())
+	}
+	for _, bad := range []string{"", "noslash", "/onlyspan"} {
+		if _, ok := ParseHeader(bad); ok {
+			t.Errorf("ParseHeader(%q) accepted", bad)
+		}
+	}
+	if (Context{}).Header() != "" {
+		t.Error("zero context should render an empty header")
+	}
+}
+
+func TestAttrsSortedAtEmission(t *testing.T) {
+	var log Log
+	tr := NewWithClock(&log, "a", fakeClock())
+	s := tr.Start(NewTrace("t"), "n", "k", A("zebra", "1"))
+	s.SetAttr("alpha", "2")
+	s.EndWith(A("mid", "3"))
+	got := log.Spans[0].Attrs
+	want := []Attr{{"alpha", "2"}, {"mid", "3"}, {"zebra", "1"}}
+	if len(got) != len(want) {
+		t.Fatalf("attrs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("attr[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	var log Log
+	tr := NewWithClock(&log, "a", fakeClock())
+	s := tr.Start(NewTrace("t"), "n", "k")
+	s.End()
+	s.End()
+	s.EndWith(A("late", "x"))
+	if len(log.Spans) != 1 {
+		t.Fatalf("emitted %d spans, want 1", len(log.Spans))
+	}
+	if len(log.Spans[0].Attrs) != 0 {
+		t.Errorf("attrs after double End = %v", log.Spans[0].Attrs)
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewStreamSink(&buf)
+	tr := NewWithClock(sink, "coord", fakeClock())
+	root := tr.Start(NewTrace("j"), "coordinator.submit", "j", A("units", "4"))
+	child := tr.Start(root.Context(), "coordinator.lease", "j/0")
+	child.End()
+	root.End()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), `{"format":"mpcp-span-stream","version":1}`) {
+		t.Fatalf("missing header: %q", buf.String())
+	}
+	spans, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("read %d spans, want 2", len(spans))
+	}
+	// Children emit before parents (End order), preserving write order.
+	if spans[0].Name != "coordinator.lease" || spans[1].Name != "coordinator.submit" {
+		t.Errorf("span order: %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if spans[1].Attrs[0] != (Attr{"units", "4"}) {
+		t.Errorf("attrs: %v", spans[1].Attrs)
+	}
+}
+
+func TestEmptyStreamStillHasHeader(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewStreamSink(&buf)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 0 {
+		t.Fatalf("spans = %v", spans)
+	}
+}
+
+func TestReadStreamRejectsWrongFormat(t *testing.T) {
+	if _, err := ReadStream(strings.NewReader(`{"format":"mpcp-trace-stream","version":1}`)); err == nil {
+		t.Error("wrong format accepted")
+	}
+	if _, err := ReadStream(strings.NewReader(`{"format":"mpcp-span-stream","version":9}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+// emitTree emulates one run of a small job and returns its spans.
+func emitTree(actor string) []Span {
+	var log Log
+	tr := NewWithClock(&log, actor, fakeClock())
+	root := tr.Start(NewTrace("job1"), "coordinator.submit", "job1")
+	for _, shard := range []string{"job1/0", "job1/1"} {
+		lease := tr.Start(root.Context(), "coordinator.lease", shard, A("worker", "w1"))
+		for _, pt := range []string{"p0", "p1"} {
+			p := tr.Start(lease.Context(), "worker.point", pt)
+			p.End()
+		}
+		lease.End()
+	}
+	root.End()
+	return log.Spans
+}
+
+func TestCanonicalDeterminism(t *testing.T) {
+	a := Canonical(emitTree("w1"))
+	b := Canonical(emitTree("w1"))
+	if !bytes.Equal(a, b) {
+		t.Errorf("two identical runs differ canonically:\n%s\nvs\n%s", a, b)
+	}
+	if bytes.Contains(a, []byte("start_ns")) || bytes.Contains(a, []byte("dur_ns")) {
+		t.Error("canonical form should strip timestamp fields")
+	}
+	// A retried shard re-emits the same span IDs; Canonical collapses
+	// the duplicates, so a run with a retry matches a clean run.
+	retried := append(emitTree("w1"), emitTree("w1")[2:4]...)
+	if !bytes.Equal(Canonical(retried), a) {
+		t.Error("canonical form should collapse retried (duplicate-ID) spans")
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	var a, b Log
+	m := &MultiSink{Sinks: []Sink{&a, &b}}
+	tr := NewWithClock(m, "x", fakeClock())
+	tr.Start(NewTrace("t"), "n", "k").End()
+	if len(a.Spans) != 1 || len(b.Spans) != 1 {
+		t.Errorf("fan-out: %d, %d", len(a.Spans), len(b.Spans))
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithActorSharesSink(t *testing.T) {
+	var log Log
+	coord := NewWithClock(&log, "coordinator", fakeClock())
+	worker := coord.WithActor("w1")
+	coord.Start(NewTrace("t"), "coordinator.submit", "j").End()
+	worker.Start(NewTrace("t"), "worker.shard", "j/0").End()
+	if len(log.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(log.Spans))
+	}
+	if log.Spans[0].Actor != "coordinator" || log.Spans[1].Actor != "w1" {
+		t.Errorf("actors: %s, %s", log.Spans[0].Actor, log.Spans[1].Actor)
+	}
+}

@@ -1,0 +1,247 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Timeline export: spans → Chrome trace-event JSON (the
+// https://ui.perfetto.dev / chrome://tracing format). Each actor
+// becomes a process (pid) named by a metadata event; within an actor,
+// spans are packed onto threads (tids) greedily so that overlapping
+// non-nesting spans land on separate lanes — the trace viewers require
+// complete ("X") events on one thread to nest strictly.
+
+// traceEvent is one entry of the traceEvents array.
+type traceEvent struct {
+	Name string `json:"name"`
+	// Ph is the event phase: "X" complete, "M" metadata.
+	Ph  string `json:"ph"`
+	Pid int    `json:"pid"`
+	Tid int    `json:"tid"`
+	// Ts and Dur are microseconds (float to keep sub-µs spans visible).
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Args argMap  `json:"args,omitempty"`
+}
+
+// timeline is the top-level trace-event JSON document.
+type timeline struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// argMap renders a sorted attribute list as the JSON object the
+// trace-event "args" field wants, without ever building a Go map (map
+// marshalling is banned by the jsonstable analyzer because it hides
+// ordering; a slice keeps the order explicit).
+type argMap []Attr
+
+// MarshalJSON writes the attributes as a JSON object in slice order.
+func (m argMap) MarshalJSON() ([]byte, error) {
+	buf := []byte{'{'}
+	for i, a := range m {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		k, err := json.Marshal(a.Key)
+		if err != nil {
+			return nil, err
+		}
+		v, err := json.Marshal(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, k...)
+		buf = append(buf, ':')
+		buf = append(buf, v...)
+	}
+	return append(buf, '}'), nil
+}
+
+// UnmarshalJSON reads a JSON object back into the pair list in
+// document order, so Marshal/Unmarshal round-trips byte-identically.
+func (m *argMap) UnmarshalJSON(b []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if tok != json.Delim('{') {
+		return fmt.Errorf("argMap: expected object, got %v", tok)
+	}
+	*m = (*m)[:0]
+	for dec.More() {
+		k, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		var v string
+		if err := dec.Decode(&v); err != nil {
+			return err
+		}
+		*m = append(*m, Attr{Key: k.(string), Value: v})
+	}
+	_, err = dec.Token() // closing brace
+	return err
+}
+
+// WriteTimeline renders spans as Chrome trace-event JSON. Spans from
+// several streams (coordinator + workers) can be concatenated; the
+// time axis is normalized so the earliest span starts at ts 0.
+func WriteTimeline(w io.Writer, spans []Span) error {
+	if len(spans) == 0 {
+		return fmt.Errorf("timeline: no spans")
+	}
+
+	// Actors → pids, sorted for a stable process order in the viewer.
+	actorSet := make(map[string]int)
+	for _, s := range spans {
+		actorSet[s.Actor] = 0
+	}
+	actors := make([]string, 0, len(actorSet))
+	for a := range actorSet {
+		actors = append(actors, a)
+	}
+	sort.Strings(actors)
+	for i, a := range actors {
+		actorSet[a] = i + 1
+	}
+
+	minStart := spans[0].Start
+	for _, s := range spans {
+		if s.Start < minStart {
+			minStart = s.Start
+		}
+	}
+
+	var events []traceEvent
+	for i, a := range actors {
+		name := a
+		if name == "" {
+			name = "(unnamed)"
+		}
+		events = append(events, traceEvent{
+			Name: "process_name", Ph: "M", Pid: i + 1, Tid: 0,
+			Args: argMap{{Key: "name", Value: name}},
+		})
+	}
+
+	// Per actor: sort by start (longer span first on ties, so a parent
+	// opens its lane before a same-instant child), then pack lanes.
+	byActor := make(map[string][]Span)
+	for _, s := range spans {
+		byActor[s.Actor] = append(byActor[s.Actor], s)
+	}
+	for _, actor := range actors { // deterministic order over the map
+		group := byActor[actor]
+		sort.SliceStable(group, func(i, j int) bool {
+			if group[i].Start != group[j].Start {
+				return group[i].Start < group[j].Start
+			}
+			if group[i].Dur != group[j].Dur {
+				return group[i].Dur > group[j].Dur
+			}
+			return group[i].ID < group[j].ID
+		})
+		pid := actorSet[actor]
+		lanes := make([][]Span, 0, 4) // per-lane stack of open spans
+		for _, s := range group {
+			end := s.Start + s.Dur
+			lane := -1
+			for li := range lanes {
+				stack := lanes[li]
+				for len(stack) > 0 && stack[len(stack)-1].Start+stack[len(stack)-1].Dur <= s.Start {
+					stack = stack[:len(stack)-1]
+				}
+				if len(stack) == 0 || end <= stack[len(stack)-1].Start+stack[len(stack)-1].Dur {
+					lanes[li] = append(stack, s)
+					lane = li
+					break
+				}
+				lanes[li] = stack
+			}
+			if lane < 0 {
+				lanes = append(lanes, []Span{s})
+				lane = len(lanes) - 1
+			}
+			args := argMap{{Key: "id", Value: s.ID}}
+			if s.Key != "" {
+				args = append(args, Attr{Key: "key", Value: s.Key})
+			}
+			if s.Parent != "" {
+				args = append(args, Attr{Key: "parent", Value: s.Parent})
+			}
+			args = append(args, s.Attrs...)
+			events = append(events, traceEvent{
+				Name: s.Name, Ph: "X", Pid: pid, Tid: lane + 1,
+				Ts:   float64(s.Start-minStart) / 1e3,
+				Dur:  float64(s.Dur) / 1e3,
+				Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(timeline{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// TimelineStats summarizes a validated timeline document.
+type TimelineStats struct {
+	// Events counts "X" span events (metadata excluded).
+	Events int
+	// Processes counts distinct pids carrying span events.
+	Processes int
+	// Names holds the distinct span names seen, sorted.
+	Names []string
+}
+
+// ValidateTimeline parses r as Chrome trace-event JSON and checks the
+// invariants WriteTimeline guarantees: a traceEvents array of "X" and
+// "M" events with positive pids and non-negative timestamps.
+func ValidateTimeline(r io.Reader) (TimelineStats, error) {
+	var stats TimelineStats
+	var doc timeline
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return stats, fmt.Errorf("timeline: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return stats, fmt.Errorf("timeline: empty traceEvents")
+	}
+	pids := make(map[int]bool)
+	names := make(map[string]bool)
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			// Metadata events label processes; nothing more to check.
+		case "X":
+			if ev.Name == "" {
+				return stats, fmt.Errorf("timeline: event %d has no name", i)
+			}
+			if ev.Pid <= 0 || ev.Tid <= 0 {
+				return stats, fmt.Errorf("timeline: event %d (%s) has pid %d tid %d", i, ev.Name, ev.Pid, ev.Tid)
+			}
+			if ev.Ts < 0 || ev.Dur < 0 {
+				return stats, fmt.Errorf("timeline: event %d (%s) has negative time", i, ev.Name)
+			}
+			stats.Events++
+			pids[ev.Pid] = true
+			names[ev.Name] = true
+		default:
+			return stats, fmt.Errorf("timeline: event %d has unsupported phase %q", i, ev.Ph)
+		}
+	}
+	stats.Processes = len(pids)
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	stats.Names = sorted
+	return stats, nil
+}

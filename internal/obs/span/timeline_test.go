@@ -1,0 +1,121 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteTimeline(t *testing.T) {
+	spans := []Span{
+		{Trace: "t1", ID: "s1", Name: "coordinator.submit", Key: "j", Actor: "coordinator", Start: 1000, Dur: 9000},
+		{Trace: "t1", ID: "s2", Parent: "s1", Name: "worker.shard", Key: "j/0", Actor: "w1", Start: 2000, Dur: 4000,
+			Attrs: []Attr{{Key: "worker", Value: "w1"}}},
+		{Trace: "t1", ID: "s3", Parent: "s2", Name: "worker.point", Key: "p0", Actor: "w1", Start: 2500, Dur: 1000},
+		// Overlaps s2 without nesting: must land on a second lane.
+		{Trace: "t1", ID: "s4", Parent: "s1", Name: "worker.shard", Key: "j/1", Actor: "w1", Start: 3000, Dur: 6000},
+	}
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ValidateTimeline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != 4 {
+		t.Errorf("events = %d, want 4", stats.Events)
+	}
+	if stats.Processes != 2 {
+		t.Errorf("processes = %d, want 2 (coordinator + w1)", stats.Processes)
+	}
+	wantNames := "coordinator.submit worker.point worker.shard"
+	if got := strings.Join(stats.Names, " "); got != wantNames {
+		t.Errorf("names = %q, want %q", got, wantNames)
+	}
+
+	var doc timeline
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	byID := make(map[string]traceEvent)
+	var minTs float64 = 1
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		for _, a := range ev.Args {
+			if a.Key == "id" {
+				byID[a.Value] = ev
+			}
+		}
+		if ev.Ts < minTs {
+			minTs = ev.Ts
+		}
+	}
+	if minTs != 0 {
+		t.Errorf("earliest ts = %v, want 0 (normalized)", minTs)
+	}
+	// Nesting span shares its parent's lane; the overlapping one moved.
+	if byID["s3"].Tid != byID["s2"].Tid {
+		t.Errorf("nested span on lane %d, parent on %d", byID["s3"].Tid, byID["s2"].Tid)
+	}
+	if byID["s4"].Tid == byID["s2"].Tid {
+		t.Error("overlapping non-nesting spans share a lane")
+	}
+	if byID["s2"].Pid == byID["s1"].Pid {
+		t.Error("different actors share a pid")
+	}
+}
+
+func TestWriteTimelineDeterministic(t *testing.T) {
+	spans := emitTree("w1")
+	var a, b bytes.Buffer
+	if err := WriteTimeline(&a, spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTimeline(&b, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("timeline export is not deterministic for identical input")
+	}
+}
+
+func TestWriteTimelineEmpty(t *testing.T) {
+	if err := WriteTimeline(&bytes.Buffer{}, nil); err == nil {
+		t.Error("empty span set should be rejected")
+	}
+}
+
+func TestValidateTimelineRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		``,
+		`{"traceEvents":[]}`,
+		`{"traceEvents":[{"name":"x","ph":"Q","pid":1,"tid":1,"ts":0}],"displayTimeUnit":"ms"}`,
+		`{"traceEvents":[{"name":"","ph":"X","pid":1,"tid":1,"ts":0}],"displayTimeUnit":"ms"}`,
+		`{"traceEvents":[{"name":"x","ph":"X","pid":0,"tid":1,"ts":0}],"displayTimeUnit":"ms"}`,
+	} {
+		if _, err := ValidateTimeline(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestArgMapMarshal(t *testing.T) {
+	b, err := json.Marshal(argMap{{Key: "a", Value: `quote"me`}, {Key: "b", Value: "2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"a":"quote\"me","b":"2"}`
+	if string(b) != want {
+		t.Errorf("argMap JSON = %s, want %s", b, want)
+	}
+	if b, _ := json.Marshal(argMap{}); string(b) != "{}" {
+		t.Errorf("empty argMap = %s", b)
+	}
+}

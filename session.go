@@ -1,7 +1,10 @@
 package mpcp
 
 import (
+	"strconv"
+
 	"mpcp/internal/obs"
+	"mpcp/internal/obs/span"
 	"mpcp/internal/sim"
 )
 
@@ -14,6 +17,7 @@ import (
 type Session struct {
 	eng     *sim.Engine
 	metrics *obs.Registry
+	run     *span.Active
 	done    bool
 }
 
@@ -24,11 +28,14 @@ func Start(sys *System, p Protocol, opts ...SimOption) (*Session, error) {
 	for _, opt := range opts {
 		opt(&s)
 	}
+	init := s.tracer.Start(s.spanParent, "sim.init", p.Name())
 	e, err := sim.New(sys, p, s.cfg)
+	init.End()
 	if err != nil {
 		return nil, err
 	}
-	return &Session{eng: e, metrics: s.metrics}, nil
+	run := s.tracer.Start(s.spanParent, "sim.run", p.Name())
+	return &Session{eng: e, metrics: s.metrics, run: run}, nil
 }
 
 // Step advances the simulation and reports whether the run has completed
@@ -80,12 +87,19 @@ func (s *Session) Trace() *Trace {
 // run's metrics are in place once the session completes.
 func (s *Session) Metrics() *MetricsRegistry { return s.metrics }
 
-// finish records the completed run into the metrics registry, once.
+// finish records the completed run into the metrics registry and closes
+// the sim.run span, once.
 func (s *Session) finish() {
 	if s.done {
 		return
 	}
 	s.done = true
+	if s.run != nil {
+		res := s.eng.Result()
+		s.run.EndWith(
+			span.A("horizon", strconv.Itoa(res.Horizon)),
+			span.A("ticks_skipped", strconv.Itoa(res.TicksSkipped)))
+	}
 	if s.metrics == nil {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"mpcp/internal/obs"
+	"mpcp/internal/obs/span"
 	"mpcp/internal/sim"
 	"mpcp/internal/trace"
 )
@@ -29,13 +30,21 @@ type (
 	// a run (see WithMetrics). The zero of the type is not useful; create
 	// one with NewMetricsRegistry.
 	MetricsRegistry = obs.Registry
+	// SpanTracer emits deterministic spans (see WithSpans); create one
+	// with span.New over a span.Sink. Nil is a valid no-op tracer.
+	SpanTracer = span.Tracer
+	// SpanContext identifies a position in a span trace; the zero value
+	// means "start a fresh trace".
+	SpanContext = span.Context
 )
 
 // simSettings is the resolved configuration of a Session: the engine
-// config plus the facade-level extras (metrics registry).
+// config plus the facade-level extras (metrics registry, span tracer).
 type simSettings struct {
-	cfg     sim.Config
-	metrics *obs.Registry
+	cfg        sim.Config
+	metrics    *obs.Registry
+	tracer     *span.Tracer
+	spanParent span.Context
 }
 
 // SimOption configures Start and Simulate.
@@ -78,6 +87,16 @@ func WithSink(sink TraceSink) SimOption {
 // histograms, semaphore wait/hold times, processor utilization).
 func WithMetrics(reg *MetricsRegistry) SimOption {
 	return func(s *simSettings) { s.metrics = reg }
+}
+
+// WithSpans emits coarse simulation phase spans to tr: sim.init around
+// engine construction and sim.run over the whole run, both keyed by the
+// protocol name and parented under parent (a zero parent starts a fresh
+// trace). The spans live entirely at the session facade — the simulator
+// core is untouched, so a session without this option pays nothing.
+// A nil tracer is a no-op, like every span call site.
+func WithSpans(tr *SpanTracer, parent SpanContext) SimOption {
+	return func(s *simSettings) { s.tracer, s.spanParent = tr, parent }
 }
 
 // WithReferenceStepper disables the event-horizon fast path: every Step
