@@ -80,8 +80,12 @@ check:
 	$(GO) run ./cmd/rtcheck -trials 200 -seed 1
 
 # Small-budget conformance gate under the race detector (CI runs this).
+# The second pass forces every trial onto a sporadic+jittered workload so
+# the release-model path is exercised against the multiprocessor
+# protocols on every CI run (docs/simulator.md, "Release models").
 check-smoke:
 	$(GO) run -race ./cmd/rtcheck -trials 20 -seed 1 -repro-dir /tmp/rtcheck-repros
+	$(GO) run -race ./cmd/rtcheck -sporadic -protocols mpcp,dpcp,hybrid,inherit -trials 10 -seed 1 -repro-dir /tmp/rtcheck-repros
 
 # Print every reproduced artifact (E1-E19).
 repro:

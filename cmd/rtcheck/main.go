@@ -31,6 +31,7 @@ import (
 
 	"mpcp/internal/conformance"
 	"mpcp/internal/dist"
+	"mpcp/internal/workload"
 )
 
 func main() {
@@ -52,6 +53,7 @@ func run(args []string, out, errw io.Writer) int {
 		horizon  = fs.Int("horizon", 0, "simulation horizon in ticks (0 = one hyperperiod past the largest offset)")
 		replay   = fs.String("replay", "", "replay one repro file and exit")
 		server   = fs.String("server", "", "run the trials on an rtsweepd coordinator at this URL instead of in-process")
+		sporadic = fs.Bool("sporadic", false, "force every trial onto a sporadic+jittered workload shape (release-model smoke gate; use with the multiprocessor protocols)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,6 +75,15 @@ func run(args []string, out, errw io.Writer) int {
 		Shrink:    *shrink,
 		ReproDir:  *reproDir,
 		Horizon:   *horizon,
+	}
+	if *sporadic {
+		wl := workload.Default(0) // seed is replaced per trial
+		wl.NumProcs = 3
+		wl.TasksPerProc = 3
+		wl.UtilPerProc = 0.4
+		wl.Sporadic = true
+		wl.MaxJitterFrac = 0.1
+		opts.Workload = &wl
 	}
 	var rep *conformance.Report
 	var err error

@@ -44,6 +44,8 @@ func run(args []string, out io.Writer) error {
 		streamOut  = fs.String("trace-stream", "", "stream the trace as JSONL to this file while running")
 		metricsOut = fs.String("metrics", "", "write a metrics snapshot (responses, semaphores, utilization, blocking attribution) as JSON to this file")
 		reference  = fs.Bool("reference", false, "use the single-tick reference stepper instead of the event-horizon fast path (identical output, slower)")
+		relSeed    = fs.Int64("release-seed", 0, "seed for sporadic-gap and release-jitter draws (0 = the workload's own releaseSeed)")
+		overload   = fs.String("overload", "continue", "deadline-miss semantics: continue (record the miss, keep running) or abort (kill the job at its deadline)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,8 +63,21 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	var policy sim.OverloadPolicy
+	switch *overload {
+	case "continue":
+		policy = sim.OverloadContinue
+	case "abort":
+		policy = sim.OverloadAbort
+	default:
+		return fmt.Errorf("unknown -overload %q (choose continue or abort)", *overload)
+	}
+
 	log := trace.New()
-	cfg := sim.Config{Horizon: *horizon, Trace: log, ReferenceStepper: *reference}
+	cfg := sim.Config{
+		Horizon: *horizon, Trace: log, ReferenceStepper: *reference,
+		ReleaseSeed: *relSeed, Overload: policy,
+	}
 	var streamFile *os.File
 	if *streamOut != "" {
 		f, err := os.Create(*streamOut)

@@ -158,6 +158,16 @@ func ceilDiv(a, b int) int {
 	return (a + b - 1) / b
 }
 
+// interferes bounds how many jobs of tj can interfere in a window of w
+// ticks: ceil((w + J_j) / T_j^min), the classic jitter-aware arrival
+// bound with the sporadic minimum interarrival as the separation. With
+// zero jitter and a periodic tj it reduces to ceil(w / T_j). The bound is
+// monotone: widening tj's minimum interarrival never increases it, which
+// the interarrival-monotonicity conformance oracle certifies end to end.
+func interferes(w int, tj *task.Task) int {
+	return ceilDiv(w+tj.Jitter, tj.EffectiveMinInterarrival())
+}
+
 // mpcpBounds implements the five factors of Section 5.1.
 func mpcpBounds(sys *task.System, opts Options) map[task.ID]*Bound {
 	tbl := ceiling.Compute(sys, opts.GcsAtCeiling)
@@ -219,7 +229,7 @@ func mpcpBounds(sys *task.System, opts Options) map[task.ID]*Bound {
 				}
 			}
 			if dur > 0 {
-				b.RemotePreemption += ceilDiv(ti.Period, tj.Period) * dur
+				b.RemotePreemption += interferes(ti.Period, tj) * dur
 			}
 		}
 
@@ -261,7 +271,7 @@ func mpcpBounds(sys *task.System, opts Options) map[task.ID]*Bound {
 					}
 				}
 				if dur > 0 {
-					b.BlockingProcGcs += ceilDiv(ti.Period, tl.Period) * dur
+					b.BlockingProcGcs += interferes(ti.Period, tl) * dur
 				}
 			}
 		}
@@ -399,7 +409,7 @@ func dpcpBounds(sys *task.System, opts Options) map[task.ID]*Bound {
 			}
 			for owner, dur := range perOwner {
 				tj := sys.TaskByID(owner)
-				b.RemotePreemption += ceilDiv(ti.Period, tj.Period) * dur
+				b.RemotePreemption += interferes(ti.Period, tj) * dur
 			}
 		}
 
@@ -415,7 +425,7 @@ func dpcpBounds(sys *task.System, opts Options) map[task.ID]*Bound {
 		}
 		for owner, dur := range perOwner {
 			tk := sys.TaskByID(owner)
-			b.LowerLocalGcs += ceilDiv(ti.Period, tk.Period) * dur
+			b.LowerLocalGcs += interferes(ti.Period, tk) * dur
 		}
 
 		if opts.DeferredPenalty {
@@ -493,9 +503,12 @@ func Schedulability(sys *task.System, bounds map[task.ID]*Bound, opts Options) (
 			tr := TaskReport{Task: ti.ID, Proc: ti.Proc, C: ti.WCET(), T: ti.Period, B: b}
 
 			// Theorem 3: sum_{j<=i} C_j/T_j + B_i/T_i <= i (2^{1/i} - 1).
-			lhs := float64(b) / float64(ti.Period)
+			// Sporadic tasks are charged at their worst-case rate (the
+			// minimum interarrival), so the sufficient condition stays
+			// sound under the sporadic model.
+			lhs := float64(b) / float64(ti.EffectiveMinInterarrival())
 			for j := 0; j <= i; j++ {
-				lhs += tasks[j].Utilization()
+				lhs += float64(tasks[j].WCET()) / float64(tasks[j].EffectiveMinInterarrival())
 			}
 			n := float64(i + 1)
 			rhs := n * (math.Pow(2, 1/n) - 1)
@@ -520,18 +533,23 @@ func Schedulability(sys *task.System, bounds map[task.ID]*Bound, opts Options) (
 	return rep, nil
 }
 
+// responseTime runs the jitter-aware response-time iteration: interfering
+// releases of each higher-priority tj are bounded by ceil((R + J_j) /
+// T_j^min), and the verdict compares R + J_i against the deadline — the
+// job's own jitter delays its release but not its deadline, so it eats
+// into the slack.
 func responseTime(sys *task.System, higher []*task.Task, ti *task.Task, b int) (int, bool) {
 	deadline := ti.RelativeDeadline()
 	r := ti.WCET() + b
 	for iter := 0; iter < 1000; iter++ {
 		next := ti.WCET() + b
 		for _, tj := range higher {
-			next += ceilDiv(r, tj.Period) * tj.WCET()
+			next += interferes(r, tj) * tj.WCET()
 		}
 		if next == r {
-			return r, r <= deadline
+			return r, r+ti.Jitter <= deadline
 		}
-		if next > deadline {
+		if next+ti.Jitter > deadline {
 			return -1, false
 		}
 		r = next

@@ -66,6 +66,14 @@ type Spec struct {
 	Hotspot          bool   `json:"hotspot,omitempty"`
 	Stagger          bool   `json:"stagger,omitempty"`
 
+	// Release model: Sporadic switches every generated task to the
+	// sporadic model (minimum interarrival MinGapFrac of its period;
+	// zero defaults to 0.5), and MaxJitterFrac gives every task a release
+	// jitter of that fraction of its period. See workload.Config.
+	Sporadic      bool    `json:"sporadic,omitempty"`
+	MinGapFrac    float64 `json:"min_gap_frac,omitempty"`
+	MaxJitterFrac float64 `json:"max_jitter_frac,omitempty"`
+
 	// DeferredPenalty charges the Section 5.1 deferred-execution penalty
 	// in the analysis (the sound default).
 	DeferredPenalty bool `json:"deferred_penalty"`
@@ -253,6 +261,9 @@ func (s *Spec) WorkloadConfig(pt Point, seed int64) workload.Config {
 		CSTicks:          [2]int{csMin, pt.CSMax},
 		Hotspot:          s.Hotspot,
 		Stagger:          s.Stagger,
+		Sporadic:         s.Sporadic,
+		MinGapFrac:       s.MinGapFrac,
+		MaxJitterFrac:    s.MaxJitterFrac,
 	}
 }
 

@@ -31,6 +31,7 @@ type File struct {
 	Semaphores        []Semaphore `json:"semaphores"`
 	Tasks             []Task      `json:"tasks"`
 	AllowNestedGlobal bool        `json:"allowNestedGlobal,omitempty"`
+	ReleaseSeed       int64       `json:"releaseSeed,omitempty"`
 }
 
 // Semaphore declares one semaphore.
@@ -49,6 +50,10 @@ type Task struct {
 	Offset   int    `json:"offset,omitempty"`
 	Priority int    `json:"priority,omitempty"`
 	Body     []Step `json:"body"`
+	// MinInterarrival > 0 makes the task sporadic; Jitter > 0 delays each
+	// release after its arrival by a seeded draw (see internal/task).
+	MinInterarrival int `json:"minInterarrival,omitempty"`
+	Jitter          int `json:"jitter,omitempty"`
 }
 
 // Step is one body instruction; exactly one field must be set (compute may
@@ -103,16 +108,19 @@ func (f *File) Build() (*task.System, error) {
 			implicit++
 		}
 		sys.AddTask(&task.Task{
-			ID:       task.ID(t.ID),
-			Name:     t.Name,
-			Proc:     task.ProcID(t.Proc),
-			Period:   t.Period,
-			Deadline: t.Deadline,
-			Offset:   t.Offset,
-			Priority: t.Priority,
-			Body:     body,
+			ID:              task.ID(t.ID),
+			Name:            t.Name,
+			Proc:            task.ProcID(t.Proc),
+			Period:          t.Period,
+			Deadline:        t.Deadline,
+			Offset:          t.Offset,
+			Priority:        t.Priority,
+			Body:            body,
+			MinInterarrival: t.MinInterarrival,
+			Jitter:          t.Jitter,
 		})
 	}
+	sys.ReleaseSeed = f.ReleaseSeed
 	if explicit > 0 && implicit > 0 {
 		return nil, errors.New("config: either all tasks or no tasks may set explicit priorities")
 	}
@@ -129,19 +137,21 @@ func (f *File) Build() (*task.System, error) {
 // preserving explicit priorities (cmd/rtgen uses this to emit generated
 // workloads).
 func FromSystem(sys *task.System) *File {
-	f := &File{Procs: sys.NumProcs}
+	f := &File{Procs: sys.NumProcs, ReleaseSeed: sys.ReleaseSeed}
 	for _, sem := range sys.Sems {
 		f.Semaphores = append(f.Semaphores, Semaphore{ID: int(sem.ID), Name: sem.Name})
 	}
 	for _, t := range sys.Tasks {
 		ct := Task{
-			ID:       int(t.ID),
-			Name:     t.Name,
-			Proc:     int(t.Proc),
-			Period:   t.Period,
-			Deadline: t.Deadline,
-			Offset:   t.Offset,
-			Priority: t.Priority,
+			ID:              int(t.ID),
+			Name:            t.Name,
+			Proc:            int(t.Proc),
+			Period:          t.Period,
+			Deadline:        t.Deadline,
+			Offset:          t.Offset,
+			Priority:        t.Priority,
+			MinInterarrival: t.MinInterarrival,
+			Jitter:          t.Jitter,
 		}
 		for _, seg := range t.Body {
 			switch seg.Kind {

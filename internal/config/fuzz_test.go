@@ -19,6 +19,9 @@ func FuzzParse(f *testing.F) {
 	f.Add(`{"procs":-1}`)
 	f.Add(`[1,2,3]`)
 	f.Add(`{"procs":1,"tasks":[{"id":1,"proc":0,"period":5,"body":[{"compute":-3}]}]}`)
+	f.Add(`{"procs":1,"releaseSeed":7,"tasks":[{"id":1,"proc":0,"period":10,"minInterarrival":6,"jitter":2,"body":[{"compute":3}]}]}`)
+	f.Add(`{"procs":1,"tasks":[{"id":1,"proc":0,"period":10,"minInterarrival":2,"body":[{"compute":5}]}]}`)
+	f.Add(`{"procs":1,"tasks":[{"id":1,"proc":0,"period":10,"jitter":-1,"body":[{"compute":1}]}]}`)
 
 	f.Fuzz(func(t *testing.T, data string) {
 		sys, err := config.Parse(strings.NewReader(data))
@@ -63,6 +66,13 @@ func FuzzParse(f *testing.F) {
 				t.Fatalf("round trip changed task %d: WCET %d->%d period %d->%d prio %d->%d",
 					tk.ID, tk.WCET(), tk2.WCET(), tk.Period, tk2.Period, tk.Priority, tk2.Priority)
 			}
+			if tk2.MinInterarrival != tk.MinInterarrival || tk2.Jitter != tk.Jitter {
+				t.Fatalf("round trip changed task %d release model: min %d->%d jitter %d->%d",
+					tk.ID, tk.MinInterarrival, tk2.MinInterarrival, tk.Jitter, tk2.Jitter)
+			}
+		}
+		if sys2.ReleaseSeed != sys.ReleaseSeed {
+			t.Fatalf("round trip changed release seed: %d -> %d", sys.ReleaseSeed, sys2.ReleaseSeed)
 		}
 	})
 }

@@ -133,9 +133,18 @@ func TrialSeed(base int64, protocol string, trial int) int64 {
 // a lighter utilization (so the analysis admits some sets and the bound-
 // soundness oracle is non-vacuous), everything else the 3x3 multiproc
 // shape of the historical sim property tests. Staggered offsets alternate
-// by seed so both synchronous and colliding release patterns appear.
+// by seed so both synchronous and colliding release patterns appear, and
+// the release model cycles by seed through periodic, sporadic and
+// jittered so every protocol's oracles also run against seed-drawn
+// release sequences (the variance-sensitive oracles gate themselves).
 func BaseWorkload(protocol string, seed int64) workload.Config {
 	cfg := workload.Default(seed)
+	switch seed % 3 {
+	case 1:
+		cfg.Sporadic = true // minimum interarrival defaults to half the period
+	case 2:
+		cfg.MaxJitterFrac = 0.1
+	}
 	switch protocol {
 	case "pcp", "pcp-immediate":
 		cfg.NumProcs = 1

@@ -138,12 +138,39 @@ func catalog() []oracle {
 		{name: "pcp-reduction",
 			applies: func(p string, sys *task.System) bool { return p == "pcp" && sys.NumProcs == 1 },
 			check:   checkPCPReduction},
-		{name: "scale-invariance", applies: nonBroken, check: checkScaleInvariance},
+		// Integer release draws do not commute with uniform time scaling
+		// (a gap drawn from [min, 2P-min] is not k times the gap drawn from
+		// [k*min, 2kP-k*min]), so scale invariance only holds for systems on
+		// the fixed periodic calendar.
+		{name: "scale-invariance",
+			applies: func(p string, sys *task.System) bool {
+				return p != "broken" && !sys.HasReleaseVariance()
+			},
+			check: checkScaleInvariance},
 		{name: "proc-renaming",
 			applies: func(p string, sys *task.System) bool {
 				return isOneOf(p, "mpcp", "mpcp-ceil", "dpcp") && sys.NumProcs > 1
 			},
 			check: checkProcRenaming},
+		{name: "periodic-degeneracy",
+			applies: func(p string, sys *task.System) bool {
+				return p != "broken" && !sys.HasReleaseVariance()
+			},
+			check: checkPeriodicDegeneracy},
+		{name: "interarrival-monotonicity",
+			applies: func(p string, _ *task.System) bool {
+				return isOneOf(p, "mpcp", "mpcp-ceil", "dpcp", "hybrid")
+			},
+			check: checkInterarrivalMonotonicity},
+		// Remote agents (dpcp, hybrid) execute on behalf of suspended jobs
+		// and spinning jobs burn processor ticks while waiting, so "no
+		// execution past the deadline" is only a theorem for the suspension-
+		// based local protocols.
+		{name: "abort-past-deadline",
+			applies: func(p string, _ *task.System) bool {
+				return !isOneOf(p, "dpcp", "hybrid", "mpcp-spin", "broken")
+			},
+			check: checkAbortPastDeadline},
 	}
 }
 
@@ -517,9 +544,11 @@ func diffProjected(a, b []trace.Event) string {
 }
 
 // scaleSystem multiplies every temporal parameter (periods, offsets,
-// deadlines, compute durations) by k, preserving priorities.
+// deadlines, minimum interarrivals, jitters, compute durations) by k,
+// preserving priorities and the release seed.
 func scaleSystem(sys *task.System, k int) (*task.System, error) {
 	out := task.NewSystem(sys.NumProcs)
+	out.ReleaseSeed = sys.ReleaseSeed
 	for _, sem := range sys.Sems {
 		out.AddSem(&task.Semaphore{ID: sem.ID, Name: sem.Name})
 	}
@@ -535,6 +564,7 @@ func scaleSystem(sys *task.System, k int) (*task.System, error) {
 			ID: t.ID, Name: t.Name, Proc: t.Proc,
 			Period: t.Period * k, Deadline: t.Deadline * k, Offset: t.Offset * k,
 			Priority: t.Priority, Body: body,
+			MinInterarrival: t.MinInterarrival * k, Jitter: t.Jitter * k,
 		})
 	}
 	if err := out.Validate(task.ValidateOptions{}); err != nil {
@@ -575,6 +605,7 @@ func renameProcs(sys *task.System) (*task.System, func(task.ProcID) task.ProcID,
 	m := task.ProcID(sys.NumProcs)
 	rename := func(p task.ProcID) task.ProcID { return (p + 1) % m }
 	out := task.NewSystem(sys.NumProcs)
+	out.ReleaseSeed = sys.ReleaseSeed
 	for _, sem := range sys.Sems {
 		out.AddSem(&task.Semaphore{ID: sem.ID, Name: sem.Name})
 	}
@@ -585,6 +616,7 @@ func renameProcs(sys *task.System) (*task.System, func(task.ProcID) task.ProcID,
 			ID: t.ID, Name: t.Name, Proc: rename(t.Proc),
 			Period: t.Period, Deadline: t.Deadline, Offset: t.Offset,
 			Priority: t.Priority, Body: body,
+			MinInterarrival: t.MinInterarrival, Jitter: t.Jitter,
 		})
 	}
 	if err := out.Validate(task.ValidateOptions{}); err != nil {
@@ -673,6 +705,154 @@ func checkProcRenaming(c *trialCtx) []string {
 	}
 	for _, v := range trace.CheckInvariants(rr.log, renamed.NumProcs) {
 		out = append(out, "renamed system: "+v.String())
+	}
+	return out
+}
+
+// checkPeriodicDegeneracy: the metamorphic identity of the sporadic
+// model. On a variance-free system, rewriting every task as sporadic at
+// its minimum (MinInterarrival = Period) and changing the release seed
+// must reproduce the periodic run byte-for-byte — events, execution
+// matrix and statistics — under both the fast path and the reference
+// stepper, because a zero-width gap distribution leaves nothing to draw.
+func checkPeriodicDegeneracy(c *trialCtx) []string {
+	r := c.run()
+	if r.err != nil {
+		return nil
+	}
+	degen := c.sys.Clone(c.sys.NumProcs)
+	degen.ReleaseSeed = c.sys.ReleaseSeed + 7919 // must be irrelevant: no draws survive
+	for _, t := range degen.Tasks {
+		t.MinInterarrival = t.Period
+	}
+	if err := degen.Validate(task.ValidateOptions{}); err != nil {
+		return nil // e.g. WCET > period: the rewrite is inexpressible, not wrong
+	}
+	var out []string
+	for _, ref := range []bool{false, true} {
+		label := "fast path"
+		if ref {
+			label = "reference stepper"
+		}
+		rd := simulateCfg(c.protocol, degen, sim.Config{
+			Horizon: c.horizon, RetainJobs: true, ReferenceStepper: ref,
+		})
+		if rd.err != nil {
+			out = append(out, fmt.Sprintf("sporadic-at-minimum run (%s) failed: %v", label, rd.err))
+			continue
+		}
+		if !reflect.DeepEqual(r.log.Events, rd.log.Events) {
+			out = append(out, fmt.Sprintf("sporadic-at-minimum (%s) changed the event log", label))
+		}
+		if !reflect.DeepEqual(r.log.Execs, rd.log.Execs) {
+			out = append(out, fmt.Sprintf("sporadic-at-minimum (%s) changed the execution matrix", label))
+		}
+		if !reflect.DeepEqual(r.res.Stats, rd.res.Stats) {
+			out = append(out, fmt.Sprintf("sporadic-at-minimum (%s) changed the statistics", label))
+		}
+	}
+	return out
+}
+
+// checkInterarrivalMonotonicity: widening every minimum interarrival must
+// never increase a blocking bound. Every interference term of the
+// analysis charges arrivals at rate 1/T^min, so slowing the arrival
+// processes can only remove blocking — a sporadic set at MinInterarrival
+// = Period must be bounded at least as tightly as the same set arriving
+// up to twice as fast.
+func checkInterarrivalMonotonicity(c *trialCtx) []string {
+	narrow := c.sys.Clone(c.sys.NumProcs)
+	for _, t := range narrow.Tasks {
+		min := t.Period / 2
+		if w := t.WCET(); min < w {
+			min = w
+		}
+		if min < 1 {
+			min = 1
+		}
+		t.MinInterarrival = min
+	}
+	wide := c.sys.Clone(c.sys.NumProcs)
+	for _, t := range wide.Tasks {
+		t.MinInterarrival = t.Period
+	}
+	if narrow.Validate(task.ValidateOptions{}) != nil || wide.Validate(task.ValidateOptions{}) != nil {
+		return nil // inexpressible rewrite (e.g. WCET > period)
+	}
+	bn, err1 := analysisBounds(c.protocol, narrow, nil)
+	bw, err2 := analysisBounds(c.protocol, wide, nil)
+	if err1 != nil || err2 != nil {
+		if errors.Is(err1, analysis.ErrNestedGlobal) || errors.Is(err2, analysis.ErrNestedGlobal) {
+			return nil
+		}
+		return []string{fmt.Sprintf("analysis failed: %v / %v", err1, err2)}
+	}
+	var out []string
+	for _, t := range c.sys.Tasks {
+		tn, tw := 0, 0
+		if b := bn[t.ID]; b != nil {
+			tn = b.Total
+		}
+		if b := bw[t.ID]; b != nil {
+			tw = b.Total
+		}
+		if tw > tn {
+			out = append(out, fmt.Sprintf("task %d: widening min interarrival raised the bound %d -> %d", t.ID, tn, tw))
+		}
+	}
+	return out
+}
+
+// checkAbortPastDeadline: under the abort-on-miss overload policy a job
+// must never occupy a processor at or past its absolute deadline — the
+// policy's defining guarantee. The run is repeated on the reference
+// stepper and the two must agree exactly, extending the fast-path
+// differential to the overload configuration.
+func checkAbortPastDeadline(c *trialCtx) []string {
+	fast := simulateCfg(c.protocol, c.sys, sim.Config{
+		Horizon: c.horizon, RetainJobs: true, Overload: sim.OverloadAbort,
+	})
+	if fast.err != nil {
+		return []string{fmt.Sprintf("abort-policy run failed: %v", fast.err)}
+	}
+	ref := simulateCfg(c.protocol, c.sys, sim.Config{
+		Horizon: c.horizon, RetainJobs: true, Overload: sim.OverloadAbort, ReferenceStepper: true,
+	})
+	if ref.err != nil {
+		return []string{fmt.Sprintf("abort-policy reference run failed: %v", ref.err)}
+	}
+	var out []string
+	if !reflect.DeepEqual(fast.log.Events, ref.log.Events) {
+		out = append(out, "abort policy: event logs differ between fast path and reference stepper")
+	}
+	if !reflect.DeepEqual(fast.log.Execs, ref.log.Execs) {
+		out = append(out, "abort policy: execution matrices differ between fast path and reference stepper")
+	}
+	if !reflect.DeepEqual(fast.res.Stats, ref.res.Stats) {
+		out = append(out, "abort policy: statistics differ between fast path and reference stepper")
+	}
+	type jobKey struct {
+		t task.ID
+		j int
+	}
+	deadline := make(map[jobKey]int)
+	for _, j := range fast.res.Jobs {
+		if j.IsAgent() {
+			continue
+		}
+		deadline[jobKey{j.Task.ID, j.Index}] = j.AbsDeadline
+	}
+	const maxReports = 5
+	reported := 0
+	for _, x := range fast.log.Execs {
+		if d, ok := deadline[jobKey{x.Task, x.Job}]; ok && x.Time >= d {
+			out = append(out, fmt.Sprintf("abort policy: task %d job %d executed at t=%d, deadline %d",
+				x.Task, x.Job, x.Time, d))
+			if reported++; reported >= maxReports {
+				out = append(out, "abort policy: further past-deadline executions suppressed")
+				break
+			}
+		}
 	}
 	return out
 }

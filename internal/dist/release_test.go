@@ -1,0 +1,104 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mpcp/internal/campaign"
+)
+
+// sporadicSpec is testSpec with release variance switched on: every task
+// sporadic at 60% of its period and jittered by 10% of it.
+func sporadicSpec() *campaign.Spec {
+	s := testSpec()
+	s.Name = "dist-sporadic-test"
+	s.Sporadic = true
+	s.MinGapFrac = 0.6
+	s.MaxJitterFrac = 0.1
+	return s
+}
+
+// TestSporadicExecutorEquivalence: a sporadic+jittered sweep through
+// LocalPool and through RemoteShards produces byte-identical JSONL — the
+// seeded release draws survive serialization and remote execution.
+func TestSporadicExecutorEquivalence(t *testing.T) {
+	want := localJSONL(t, sporadicSpec())
+
+	_, client := newTestServer(t, ServerOptions{ShardSize: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w := &Worker{Client: client, Name: "eq", Workers: 1, Poll: 2 * time.Millisecond}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := w.Run(ctx); err != nil && ctx.Err() == nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+
+	path := filepath.Join(t.TempDir(), "remote.jsonl")
+	_, err := campaign.Run(sporadicSpec(), campaign.Options{
+		ResultsPath: path,
+		Executor:    &RemoteShards{Client: client, Poll: 2 * time.Millisecond},
+	})
+	cancel()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("remote run: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("remote sporadic run differs from LocalPool:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestCacheKeyDistinguishesReleaseModel: the content-addressed cache must
+// never serve a periodic sweep's result to a sporadic or jittered request
+// — each release-model knob reaches the fingerprint.
+func TestCacheKeyDistinguishesReleaseModel(t *testing.T) {
+	spec := testSpec()
+	spec.FillDefaults()
+	pt := spec.Points()[0]
+	base := sweepCacheKey(spec, pt, EngineVersion)
+
+	mutations := map[string]func(*campaign.Spec){
+		"sporadic":        func(s *campaign.Spec) { s.Sporadic = true },
+		"min gap frac":    func(s *campaign.Spec) { s.Sporadic = true; s.MinGapFrac = 0.7 },
+		"max jitter frac": func(s *campaign.Spec) { s.MaxJitterFrac = 0.1 },
+	}
+	for name, mutate := range mutations {
+		s := testSpec()
+		mutate(s)
+		s.FillDefaults()
+		if got := sweepCacheKey(s, pt, EngineVersion); got == base {
+			t.Errorf("%s does not reach the cache key", name)
+		}
+	}
+}
+
+// TestDegenerateSporadicSweepMatchesPeriodic: a sweep whose release model
+// is formally sporadic but parameterized to the degenerate point
+// (MinGapFrac 1.0, no jitter) generates different cache keys yet the same
+// results as the plain periodic sweep, because a gap distribution of
+// width zero draws nothing.
+func TestDegenerateSporadicSweepMatchesPeriodic(t *testing.T) {
+	want := localJSONL(t, testSpec())
+
+	degen := testSpec()
+	degen.Sporadic = true
+	degen.MinGapFrac = 1.0
+	got := localJSONL(t, degen)
+	if !bytes.Equal(got, want) {
+		t.Errorf("degenerate sporadic sweep differs from the periodic sweep:\n%s\nvs\n%s", got, want)
+	}
+}

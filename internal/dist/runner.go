@@ -117,6 +117,9 @@ type sweepFingerprint struct {
 	LcsPerTask      [2]int         `json:"lcs_per_task"`
 	Hotspot         bool           `json:"hotspot"`
 	Stagger         bool           `json:"stagger"`
+	Sporadic        bool           `json:"sporadic"`
+	MinGapFrac      float64        `json:"min_gap_frac"`
+	MaxJitterFrac   float64        `json:"max_jitter_frac"`
 	DeferredPenalty bool           `json:"deferred_penalty"`
 	Simulate        bool           `json:"simulate"`
 	SimTickBudget   int            `json:"sim_tick_budget"`
@@ -143,6 +146,9 @@ func sweepCacheKey(spec *campaign.Spec, pt campaign.Point, engine string) string
 		LcsPerTask:      spec.LcsPerTask,
 		Hotspot:         spec.Hotspot,
 		Stagger:         spec.Stagger,
+		Sporadic:        spec.Sporadic,
+		MinGapFrac:      spec.MinGapFrac,
+		MaxJitterFrac:   spec.MaxJitterFrac,
 		DeferredPenalty: spec.DeferredPenalty,
 		Simulate:        spec.Simulate,
 		SimTickBudget:   spec.SimTickBudget,

@@ -99,3 +99,31 @@ func plainInt(v int) bool {
 	}
 	return false
 }
+
+// Policy mirrors the simulator's two-member overload-policy enum: the
+// zero value is a real member (the "continue" policy), so a switch that
+// only handles the non-zero member is still incomplete.
+type Policy int
+
+const (
+	PolicyContinue Policy = iota
+	PolicyAbort
+)
+
+func policyFull(p Policy) string {
+	switch p {
+	case PolicyContinue:
+		return "continue"
+	case PolicyAbort:
+		return "abort"
+	}
+	return ""
+}
+
+func policyMissingZero(p Policy) string {
+	switch p { // want `missing PolicyContinue`
+	case PolicyAbort:
+		return "abort"
+	}
+	return ""
+}

@@ -241,7 +241,11 @@ func Attribute(l *trace.Log, sys *task.System, endTick int) (*Report, error) {
 			if js != nil && js.open {
 				js.state = e.Kind
 			}
-		case trace.EvFinish:
+		case trace.EvFinish, trace.EvAbort:
+			// An abort closes the job like a finish: it never executes
+			// again, so its waiting spans end here. Aborted jobs keep
+			// Finish = abort tick; consumers distinguish them by the
+			// trace's EvAbort events when they care.
 			if js != nil && js.open {
 				js.attr.Finish = e.Time
 				js.state = trace.EvFinish

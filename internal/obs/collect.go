@@ -9,15 +9,18 @@ import (
 
 // CollectTrace derives run metrics from a trace: per-task response-time
 // histograms, per-semaphore wait/hold/queue-length histograms,
-// per-processor utilization and preemption counts, and deadline misses.
-// endTick is the number of executed ticks (as for Attribute). All
-// metrics are deterministic functions of the trace, so two runs with
-// equal traces snapshot to equal bytes.
+// per-processor utilization and preemption counts, deadline misses,
+// aborts, and per-task miss ratios (misses over releases — the overload
+// headline metric). endTick is the number of executed ticks (as for
+// Attribute). All metrics are deterministic functions of the trace, so
+// two runs with equal traces snapshot to equal bytes.
 func CollectTrace(reg *Registry, l *trace.Log, sys *task.System, endTick int) {
 	type jk struct {
 		task task.ID
 		job  int
 	}
+	releases := make(map[task.ID]int64)
+	misses := make(map[task.ID]int64)
 	released := make(map[jk]int)
 	waitingOn := make(map[jk]task.SemID)
 	waitStart := make(map[jk]int)
@@ -29,13 +32,19 @@ func CollectTrace(reg *Registry, l *trace.Log, sys *task.System, endTick int) {
 		switch e.Kind {
 		case trace.EvRelease:
 			released[k] = e.Time
+			releases[e.Task]++
+			reg.Counter(fmt.Sprintf("jobs_released{task=%d}", e.Task)).Inc()
 		case trace.EvFinish:
 			if rel, ok := released[k]; ok {
 				reg.Histogram(fmt.Sprintf("response_ticks{task=%d}", e.Task)).Observe(int64(e.Time - rel))
 				delete(released, k)
 			}
 		case trace.EvDeadlineMiss:
+			misses[e.Task]++
 			reg.Counter(fmt.Sprintf("deadline_misses{task=%d}", e.Task)).Inc()
+		case trace.EvAbort:
+			reg.Counter(fmt.Sprintf("jobs_aborted{task=%d}", e.Task)).Inc()
+			delete(released, k) // no response sample: the job never finished
 		case trace.EvPreempt:
 			reg.Counter(fmt.Sprintf("preemptions{proc=%d}", e.Proc)).Inc()
 		case trace.EvBlockLocal, trace.EvSuspendGlobal, trace.EvSpinGlobal:
@@ -64,6 +73,12 @@ func CollectTrace(reg *Registry, l *trace.Log, sys *task.System, endTick int) {
 			// starts are visible in the execution matrix, grants are
 			// followed by the EvReady wake-up, and priority changes are
 			// attribution's (not collection's) concern.
+		}
+	}
+
+	for _, t := range sys.Tasks {
+		if n := releases[t.ID]; n > 0 {
+			reg.Gauge(fmt.Sprintf("miss_ratio{task=%d}", t.ID)).Set(float64(misses[t.ID]) / float64(n))
 		}
 	}
 

@@ -12,11 +12,15 @@
 // determinism analyzer like the rest of the simulation path.
 package relq
 
-// Entry is one scheduled release: the tick it is due and the dense task
-// index it belongs to.
+// Entry is one scheduled release: the tick it is due, the dense task
+// index it belongs to, and the job's arrival time. Arrival equals Time
+// for jitter-free tasks; under release jitter the release is delayed past
+// the arrival while the absolute deadline stays anchored to the arrival.
+// Arrival does not participate in the heap order.
 type Entry struct {
-	Time int
-	Idx  int
+	Time    int
+	Idx     int
+	Arrival int
 }
 
 // less orders entries lexicographically by (Time, Idx).

@@ -1,0 +1,56 @@
+package relq
+
+// Source derives sporadic interarrival gaps and release jitter from a
+// seed, statelessly: every draw is a pure hash of (seed, task index,
+// instance number). Statelessness is what lets the event-horizon fast
+// path coast over quiet spans byte-identically — the k-th draw of a task
+// is the same whether the simulator stepped every tick or jumped straight
+// to the release — and is why the package needs no math/rand state, which
+// keeps it inside the rtvet determinism scope with zero findings.
+type Source struct {
+	seed uint64
+}
+
+// NewSource returns a draw source keyed by seed. Any seed (including 0)
+// is valid; equal seeds yield equal sequences.
+func NewSource(seed int64) Source {
+	return Source{seed: uint64(seed)}
+}
+
+// mix hashes the seed with the (task, instance, stream) coordinates using
+// two rounds of splitmix64-style finalization. stream separates the gap
+// draw from the jitter draw of the same instance.
+func (s Source) mix(taskIdx, k, stream int) uint64 {
+	x := s.seed
+	x += 0x9e3779b97f4a7c15 * (uint64(taskIdx) + 1)
+	x += 0xbf58476d1ce4e5b9 * (uint64(k) + 1)
+	x += 0x94d049bb133111eb * (uint64(stream) + 1)
+	for i := 0; i < 2; i++ {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return x
+}
+
+// Gap returns the interarrival gap before instance k+1 of task taskIdx:
+// uniform over [min, min+span]. span == 0 short-circuits to min without
+// drawing, so periodic tasks (and sporadic tasks at minimum == period)
+// never consume randomness and degenerate to the fixed calendar exactly.
+func (s Source) Gap(taskIdx, k, min, span int) int {
+	if span <= 0 {
+		return min
+	}
+	return min + int(s.mix(taskIdx, k, 0)%uint64(span+1))
+}
+
+// Jit returns the release jitter of instance k of task taskIdx: uniform
+// over [0, max]. max == 0 short-circuits to 0 without drawing.
+func (s Source) Jit(taskIdx, k, max int) int {
+	if max <= 0 {
+		return 0
+	}
+	return int(s.mix(taskIdx, k, 1) % uint64(max+1))
+}

@@ -52,6 +52,34 @@ type Protocol interface {
 	OnFinish(e *Engine, j *Job)
 }
 
+// OverloadPolicy selects what happens to a job that is still incomplete
+// when its absolute deadline passes.
+type OverloadPolicy int
+
+// Overload policies. The zero value is OverloadContinue, preserving the
+// historical behaviour.
+const (
+	// OverloadContinue lets a job keep executing past its deadline; the
+	// miss is recorded and every statistic accumulates normally.
+	OverloadContinue OverloadPolicy = iota
+	// OverloadAbort kills a job at its deadline: before it can execute at
+	// or past the deadline it is marked missed, its held semaphores are
+	// force-released (waking waiters under the protocol's normal unlock
+	// path), and it leaves the system without counting as finished.
+	OverloadAbort
+)
+
+func (p OverloadPolicy) String() string {
+	switch p {
+	case OverloadContinue:
+		return "continue"
+	case OverloadAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("OverloadPolicy(%d)", int(p))
+	}
+}
+
 // Config tunes a simulation run.
 type Config struct {
 	// Horizon is the number of ticks to simulate. Zero means one
@@ -81,6 +109,15 @@ type Config struct {
 	// suspended jobs remain (which can never recover). Defaults on; the
 	// field disables it when set.
 	KeepRunningOnDeadlock bool
+
+	// ReleaseSeed overrides the system's ReleaseSeed as the key for the
+	// sporadic-gap and release-jitter draws; 0 keeps the system's seed.
+	// Irrelevant when no task has release variance.
+	ReleaseSeed int64
+
+	// Overload selects the deadline-miss semantics; the zero value
+	// (OverloadContinue) preserves the historical keep-running behaviour.
+	Overload OverloadPolicy
 
 	// ReferenceStepper disables the event-horizon fast path: every Step
 	// advances exactly one tick through the full release/settle/dispatch/
@@ -165,10 +202,11 @@ type Engine struct {
 	cfg   Config
 
 	now      int
-	procs    []*Job     // running job per processor (nil = idle this tick)
-	active   []*Job     // released, unfinished jobs (including agents)
-	releases relq.Queue // calendar of pending releases, (time, task index)
-	nextIdx  []int      // per-task next instance index
+	procs    []*Job      // running job per processor (nil = idle this tick)
+	active   []*Job      // released, unfinished jobs (including agents)
+	releases relq.Queue  // calendar of pending releases, (time, task index)
+	rel      relq.Source // seed-keyed sporadic-gap and jitter draws
+	nextIdx  []int       // per-task next instance index
 	taskIx   map[task.ID]int
 	seq      uint64
 
@@ -213,11 +251,16 @@ func New(sys *task.System, proto Protocol, cfg Config) (*Engine, error) {
 	for i := range e.result.Procs {
 		e.result.Procs[i] = &ProcStats{}
 	}
+	seed := cfg.ReleaseSeed
+	if seed == 0 {
+		seed = sys.ReleaseSeed
+	}
+	e.rel = relq.NewSource(seed)
 	e.nextIdx = make([]int, len(sys.Tasks))
 	for i, t := range sys.Tasks {
 		e.taskIx[t.ID] = i
-		if t.Offset < cfg.Horizon {
-			e.releases.Push(relq.Entry{Time: t.Offset, Idx: i})
+		if r0 := t.Offset + e.rel.Jit(i, 0, t.Jitter); r0 < cfg.Horizon {
+			e.releases.Push(relq.Entry{Time: r0, Idx: i, Arrival: t.Offset})
 		}
 		e.result.Stats[t.ID] = &TaskStats{}
 	}
@@ -291,6 +334,21 @@ func (e *Engine) Step() (done bool, err error) {
 		e.finished = true
 		return true, e.err
 	}
+	if e.cfg.Overload == OverloadAbort {
+		// Sweep ready jobs whose deadline has passed before they can
+		// consume processor time this tick. Force-releasing a victim's
+		// semaphores may wake (and even grant to) further jobs, so settle
+		// and sweep alternate until quiescent: no grant path exists outside
+		// settle, which is what guarantees no execution at or past a
+		// deadline ever reaches the dispatcher.
+		for e.abortMissed() {
+			e.settle()
+			if e.err != nil {
+				e.finished = true
+				return true, e.err
+			}
+		}
+	}
 	e.dispatchAndAdvance()
 	e.accountWaiting()
 	e.checkDeadlines()
@@ -335,6 +393,14 @@ func (e *Engine) Result() *Result { return e.result }
 // off the release calendar. Entries are ordered (time, task index), which
 // matches the task-index order the historical per-tick scan released jobs
 // in, so traces are unchanged.
+//
+// The successor entry is derived statelessly from the release Source: the
+// next arrival is this entry's arrival plus a seed-keyed gap (exactly the
+// period for periodic tasks, uniform over [MinInterarrival,
+// 2*Period-MinInterarrival] for sporadic ones, so the mean rate stays
+// 1/Period), and the next release adds that instance's jitter draw,
+// clamped so a task's releases never reorder. Deadlines anchor to
+// arrivals, not releases.
 func (e *Engine) releaseJobs() {
 	for {
 		ent, ok := e.releases.Peek()
@@ -348,7 +414,8 @@ func (e *Engine) releaseJobs() {
 			Task:        t,
 			Index:       e.nextIdx[i],
 			Release:     ent.Time,
-			AbsDeadline: ent.Time + t.RelativeDeadline(),
+			Arrival:     ent.Arrival,
+			AbsDeadline: ent.Arrival + t.RelativeDeadline(),
 			Proc:        t.Proc,
 			Body:        t.Body,
 			BasePrio:    t.Priority,
@@ -359,9 +426,19 @@ func (e *Engine) releaseJobs() {
 		if len(j.Body) > 0 && j.Body[0].Kind == task.SegCompute {
 			j.SegLeft = j.Body[0].Duration
 		}
+		k := e.nextIdx[i]
 		e.nextIdx[i]++
-		if next := ent.Time + t.Period; next < e.cfg.Horizon {
-			e.releases.Push(relq.Entry{Time: next, Idx: i})
+		min, span := t.Period, 0
+		if t.IsSporadic() {
+			min, span = t.MinInterarrival, 2*(t.Period-t.MinInterarrival)
+		}
+		arrival := ent.Arrival + e.rel.Gap(i, k, min, span)
+		next := arrival + e.rel.Jit(i, k+1, t.Jitter)
+		if next < ent.Time {
+			next = ent.Time // releases stay in arrival order per task
+		}
+		if next < e.cfg.Horizon {
+			e.releases.Push(relq.Entry{Time: next, Idx: i, Arrival: arrival})
 		}
 		e.active = append(e.active, j)
 		e.result.Stats[t.ID].Released++
@@ -381,6 +458,7 @@ func (e *Engine) SpawnAgent(parent *Job, body []task.Segment, proc task.ProcID, 
 		Task:     parent.Task,
 		Index:    parent.Index,
 		Release:  e.now,
+		Arrival:  e.now,
 		Proc:     proc,
 		Body:     body,
 		BasePrio: prio,
@@ -657,9 +735,9 @@ func (e *Engine) accountWaiting() {
 			continue
 		}
 		switch j.State {
-		case StateFinished:
-			// Finished jobs leave the active set at completion; one that
-			// is still visible here accrues nothing.
+		case StateFinished, StateAborted:
+			// Finished and aborted jobs leave the active set immediately;
+			// one that is still visible here accrues nothing.
 		case StateBlocked:
 			j.BlockedTicks++
 		case StateSuspended:
@@ -698,6 +776,56 @@ func (e *Engine) accountWaiting() {
 			}
 		}
 	}
+}
+
+// abortMissed aborts every ready job whose deadline has passed, in active
+// order, and reports whether it aborted anything (in which case the
+// caller must re-settle: force-released semaphores may have been granted
+// to further past-deadline waiters, which the next sweep collects).
+// Blocked, suspended and spinning jobs are left queued — they are swept
+// at the instant a grant makes them ready, before they can execute.
+func (e *Engine) abortMissed() bool {
+	var victims []*Job
+	for _, j := range e.active {
+		if j.IsAgent() || j.State != StateReady {
+			continue
+		}
+		if e.now >= j.AbsDeadline {
+			victims = append(victims, j)
+		}
+	}
+	for _, j := range victims {
+		e.abortJob(j)
+	}
+	return len(victims) > 0
+}
+
+// abortJob kills j under the abort-on-miss policy: records the miss (if
+// not already recorded by checkDeadlines while j was waiting),
+// force-releases its held semaphores innermost-first through the
+// protocol's normal unlock path, and removes it from the system. The job
+// never counts as finished and accrues no response-time statistics.
+func (e *Engine) abortJob(j *Job) {
+	if j.State != StateReady || e.now < j.AbsDeadline {
+		return
+	}
+	if !j.Missed {
+		j.Missed = true
+		e.result.AnyMiss = true
+		e.result.Stats[j.Task.ID].Missed++
+		e.emit(trace.Event{Time: e.now, Kind: trace.EvDeadlineMiss, Task: j.Task.ID, Job: j.Index, Proc: j.Proc})
+	}
+	for len(j.Held) > 0 {
+		s := j.Held[len(j.Held)-1]
+		e.exitCS(j, s)
+		e.proto.Unlock(e, j, s)
+	}
+	j.State = StateAborted
+	j.FinishTime = e.now
+	e.removeActive(j)
+	e.result.Stats[j.Task.ID].Aborted++
+	e.emit(trace.Event{Time: e.now, Kind: trace.EvAbort, Task: j.Task.ID, Job: j.Index, Proc: j.Proc})
+	e.proto.OnFinish(e, j)
 }
 
 func (e *Engine) checkDeadlines() {
@@ -751,7 +879,7 @@ func (e *Engine) SetEffPrio(j *Job, prio int) {
 // distinguish "still blocked" from "ready but displaced" without
 // re-running the protocol.
 func (e *Engine) MakeReady(j *Job) {
-	if j.State == StateFinished {
+	if j.State == StateFinished || j.State == StateAborted {
 		return
 	}
 	if j.State != StateReady {

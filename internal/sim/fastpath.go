@@ -30,8 +30,14 @@ import (
 //     covered by the holder's own segment boundary);
 //   - the earliest absolute deadline of an unmissed non-agent active job
 //     (checkDeadlines first fires at tick == AbsDeadline, emitting an
-//     EvDeadlineMiss and, under StopOnMiss, ending the run);
+//     EvDeadlineMiss and, under StopOnMiss, ending the run; under
+//     OverloadAbort the same tick's sweep aborts the job before it can
+//     execute, so no ready past-deadline job ever exists inside a span);
 //   - the horizon.
+//
+// Sporadic and jittered releases need no extra boundaries: the calendar
+// entry for each task's next release is computed at push time from the
+// stateless seed-keyed Source, so the relq peek already reflects them.
 //
 // Everything else the reference stepper does each tick is constant over
 // the span: settle finds no ready job off a compute segment, deadlock
@@ -147,7 +153,7 @@ func (e *Engine) fastForward(q int) int {
 			continue
 		}
 		switch j.State {
-		case StateFinished:
+		case StateFinished, StateAborted:
 		case StateBlocked:
 			j.BlockedTicks += q
 		case StateSuspended:

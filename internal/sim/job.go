@@ -21,6 +21,11 @@ const (
 	StateSuspended
 	StateSpinning
 	StateFinished
+	// StateAborted marks a job killed by the abort-on-miss overload policy:
+	// its deadline passed before it completed, its held semaphores were
+	// force-released, and it will never execute again. Aborted jobs leave
+	// the active set and are not counted as finished.
+	StateAborted
 )
 
 func (s JobState) String() string {
@@ -35,6 +40,8 @@ func (s JobState) String() string {
 		return "spinning"
 	case StateFinished:
 		return "finished"
+	case StateAborted:
+		return "aborted"
 	default:
 		return fmt.Sprintf("JobState(%d)", int(s))
 	}
@@ -47,7 +54,13 @@ type Job struct {
 	Task  *task.Task
 	Index int // instance number, 0-based
 
+	// Release is the tick the job became eligible to execute; Arrival is
+	// the tick of the underlying sporadic/periodic arrival. They differ by
+	// the job's release jitter. The absolute deadline is anchored to the
+	// arrival (AbsDeadline = Arrival + relative deadline), so jitter eats
+	// into the job's slack.
 	Release     int
+	Arrival     int
 	AbsDeadline int
 
 	Proc task.ProcID    // processor this job executes on
@@ -134,6 +147,7 @@ type TaskStats struct {
 	Released int
 	Finished int
 	Missed   int
+	Aborted  int // jobs killed by the abort-on-miss overload policy
 
 	MaxResponse int
 	SumResponse int64

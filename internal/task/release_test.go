@@ -1,0 +1,120 @@
+package task
+
+import (
+	"errors"
+	"testing"
+)
+
+// oneTask builds a single-task system whose task the test then perturbs:
+// period 10, WCET 4, no semaphores.
+func oneTask(mutate func(*Task)) *System {
+	sys := NewSystem(1)
+	tk := &Task{ID: 1, Proc: 0, Period: 10, Priority: 1, Body: []Segment{Compute(4)}}
+	mutate(tk)
+	sys.AddTask(tk)
+	return sys
+}
+
+func TestValidateReleaseModelErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Task)
+		want   error
+	}{
+		{"negative offset", func(tk *Task) { tk.Offset = -1 }, ErrNegativeOffset},
+		{"offset beyond hyperperiod", func(tk *Task) { tk.Offset = 11 }, ErrOffsetTooLarge},
+		{"negative jitter", func(tk *Task) { tk.Jitter = -2 }, ErrNegativeJitter},
+		{"jitter beyond period", func(tk *Task) { tk.Jitter = 11 }, ErrJitterTooLarge},
+		{"negative min interarrival", func(tk *Task) { tk.MinInterarrival = -1 }, ErrBadMinInterarrival},
+		{"min interarrival beyond period", func(tk *Task) { tk.MinInterarrival = 11 }, ErrBadMinInterarrival},
+		{"min interarrival below cost", func(tk *Task) { tk.MinInterarrival = 3 }, ErrMinBelowCost},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := oneTask(c.mutate).Validate(ValidateOptions{})
+			if !errors.Is(err, c.want) {
+				t.Errorf("Validate = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateReleaseModelAccepts(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Task)
+	}{
+		{"periodic baseline", func(*Task) {}},
+		{"offset at hyperperiod", func(tk *Task) { tk.Offset = 10 }},
+		{"jitter at period", func(tk *Task) { tk.Jitter = 10 }},
+		{"sporadic at cost", func(tk *Task) { tk.MinInterarrival = 4 }},
+		{"sporadic at period", func(tk *Task) { tk.MinInterarrival = 10 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := oneTask(c.mutate).Validate(ValidateOptions{}); err != nil {
+				t.Errorf("Validate = %v, want nil", err)
+			}
+		})
+	}
+}
+
+func TestSporadicHelpers(t *testing.T) {
+	periodic := &Task{Period: 10}
+	if periodic.IsSporadic() {
+		t.Error("MinInterarrival 0 must read as periodic")
+	}
+	if got := periodic.EffectiveMinInterarrival(); got != 10 {
+		t.Errorf("periodic EffectiveMinInterarrival = %d, want period 10", got)
+	}
+	if periodic.HasReleaseVariance() {
+		t.Error("periodic jitter-free task must have no release variance")
+	}
+
+	sporadic := &Task{Period: 10, MinInterarrival: 6}
+	if !sporadic.IsSporadic() {
+		t.Error("MinInterarrival 6 must read as sporadic")
+	}
+	if got := sporadic.EffectiveMinInterarrival(); got != 6 {
+		t.Errorf("sporadic EffectiveMinInterarrival = %d, want 6", got)
+	}
+	if !sporadic.HasReleaseVariance() {
+		t.Error("sporadic below its period must have release variance")
+	}
+
+	atPeriod := &Task{Period: 10, MinInterarrival: 10}
+	if atPeriod.HasReleaseVariance() {
+		t.Error("sporadic at its period is the periodic calendar: no variance")
+	}
+
+	jittered := &Task{Period: 10, Jitter: 3}
+	if !jittered.HasReleaseVariance() {
+		t.Error("nonzero jitter must have release variance")
+	}
+}
+
+func TestSystemHasReleaseVariance(t *testing.T) {
+	sys := oneTask(func(*Task) {})
+	if sys.HasReleaseVariance() {
+		t.Error("variance-free system reported variance")
+	}
+	sys.Tasks[0].Jitter = 1
+	if !sys.HasReleaseVariance() {
+		t.Error("jittered system reported no variance")
+	}
+}
+
+func TestCloneCopiesReleaseModel(t *testing.T) {
+	sys := oneTask(func(tk *Task) {
+		tk.MinInterarrival = 5
+		tk.Jitter = 2
+	})
+	sys.ReleaseSeed = 42
+	c := sys.Clone(1)
+	if c.ReleaseSeed != 42 {
+		t.Errorf("clone ReleaseSeed = %d, want 42", c.ReleaseSeed)
+	}
+	if got := c.Tasks[0]; got.MinInterarrival != 5 || got.Jitter != 2 {
+		t.Errorf("clone task release fields = min %d jitter %d, want 5 and 2", got.MinInterarrival, got.Jitter)
+	}
+}

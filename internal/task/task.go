@@ -72,9 +72,22 @@ type Task struct {
 	Proc     ProcID
 	Period   int
 	Deadline int // relative deadline; 0 means Deadline = Period
-	Offset   int // release time of the first job
+	Offset   int // arrival time of the first job
 	Priority int // base priority, larger = higher
 	Body     []Segment
+
+	// MinInterarrival switches the task to the sporadic model: successive
+	// arrivals are separated by a seed-derived gap drawn uniformly from
+	// [MinInterarrival, 2*Period-MinInterarrival], so Period remains the
+	// mean rate and the analyses' worst case is the minimum separation.
+	// 0 means strictly periodic (gap = Period exactly);
+	// MinInterarrival == Period degenerates to the periodic sequence too.
+	MinInterarrival int
+	// Jitter delays each job's release after its arrival by a seed-derived
+	// amount drawn uniformly from [0, Jitter]. The absolute deadline stays
+	// anchored to the arrival, so jitter eats into the job's slack exactly
+	// as in the classic jitter-aware response-time analysis.
+	Jitter int
 }
 
 // WCET returns the task's computation requirement C_i: the sum of its
@@ -96,6 +109,29 @@ func (t *Task) RelativeDeadline() int {
 		return t.Deadline
 	}
 	return t.Period
+}
+
+// IsSporadic reports whether the task uses the sporadic release model
+// (a positive minimum interarrival time).
+func (t *Task) IsSporadic() bool { return t.MinInterarrival > 0 }
+
+// EffectiveMinInterarrival returns the minimum separation between
+// successive arrivals: MinInterarrival for sporadic tasks, Period for
+// periodic ones. This is the denominator of every interference and
+// blocking-frequency term in the jitter-aware analyses.
+func (t *Task) EffectiveMinInterarrival() int {
+	if t.MinInterarrival > 0 {
+		return t.MinInterarrival
+	}
+	return t.Period
+}
+
+// HasReleaseVariance reports whether the task's release sequence depends
+// on seed-derived draws: sporadic with a minimum interarrival strictly
+// below the period, or nonzero jitter. Variance-free tasks release on the
+// fixed periodic calendar regardless of seed.
+func (t *Task) HasReleaseVariance() bool {
+	return (t.MinInterarrival > 0 && t.MinInterarrival < t.Period) || t.Jitter > 0
 }
 
 // Utilization returns C_i / T_i.
@@ -138,6 +174,12 @@ type System struct {
 	Tasks    []*Task
 	Sems     []*Semaphore
 
+	// ReleaseSeed keys the deterministic sporadic-gap and jitter draws of
+	// every task in the system. Two runs of the same system with the same
+	// seed produce byte-identical release sequences; it is irrelevant (and
+	// ignored) when no task has release variance.
+	ReleaseSeed int64
+
 	// Derived by Validate:
 	csByTask  map[ID][]CriticalSection
 	accessBy  map[SemID]map[ProcID]bool
@@ -155,6 +197,7 @@ func NewSystem(numProcs int) *System {
 // and run Validate themselves.
 func (s *System) Clone(numProcs int) *System {
 	out := NewSystem(numProcs)
+	out.ReleaseSeed = s.ReleaseSeed
 	for _, sem := range s.Sems {
 		out.AddSem(&Semaphore{ID: sem.ID, Name: sem.Name})
 	}
@@ -162,14 +205,16 @@ func (s *System) Clone(numProcs int) *System {
 		body := make([]Segment, len(t.Body))
 		copy(body, t.Body)
 		out.AddTask(&Task{
-			ID:       t.ID,
-			Name:     t.Name,
-			Proc:     t.Proc,
-			Period:   t.Period,
-			Deadline: t.Deadline,
-			Offset:   t.Offset,
-			Priority: t.Priority,
-			Body:     body,
+			ID:              t.ID,
+			Name:            t.Name,
+			Proc:            t.Proc,
+			Period:          t.Period,
+			Deadline:        t.Deadline,
+			Offset:          t.Offset,
+			Priority:        t.Priority,
+			Body:            body,
+			MinInterarrival: t.MinInterarrival,
+			Jitter:          t.Jitter,
 		})
 	}
 	return out
@@ -211,19 +256,25 @@ func (s *System) SemByID(id SemID) *Semaphore {
 
 // Validation errors that callers may want to match.
 var (
-	ErrNoTasks           = errors.New("system has no tasks")
-	ErrNoProcs           = errors.New("system has no processors")
-	ErrDuplicateTaskID   = errors.New("duplicate task id")
-	ErrDuplicateSemID    = errors.New("duplicate semaphore id")
-	ErrDuplicatePriority = errors.New("duplicate task priority")
-	ErrBadBinding        = errors.New("task bound to nonexistent processor")
-	ErrBadPeriod         = errors.New("task period must be positive")
-	ErrUnknownSemaphore  = errors.New("body references unknown semaphore")
-	ErrUnbalancedLocks   = errors.New("unbalanced lock/unlock in body")
-	ErrSelfDeadlock      = errors.New("body locks a semaphore it already holds")
-	ErrNestedGlobal      = errors.New("nested global critical section")
-	ErrNegativeDuration  = errors.New("compute segment with negative duration")
-	ErrHeldAtCompletion  = errors.New("semaphore still held at end of body")
+	ErrNoTasks            = errors.New("system has no tasks")
+	ErrNoProcs            = errors.New("system has no processors")
+	ErrDuplicateTaskID    = errors.New("duplicate task id")
+	ErrDuplicateSemID     = errors.New("duplicate semaphore id")
+	ErrDuplicatePriority  = errors.New("duplicate task priority")
+	ErrBadBinding         = errors.New("task bound to nonexistent processor")
+	ErrBadPeriod          = errors.New("task period must be positive")
+	ErrUnknownSemaphore   = errors.New("body references unknown semaphore")
+	ErrUnbalancedLocks    = errors.New("unbalanced lock/unlock in body")
+	ErrSelfDeadlock       = errors.New("body locks a semaphore it already holds")
+	ErrNestedGlobal       = errors.New("nested global critical section")
+	ErrNegativeDuration   = errors.New("compute segment with negative duration")
+	ErrHeldAtCompletion   = errors.New("semaphore still held at end of body")
+	ErrNegativeOffset     = errors.New("task offset must be non-negative")
+	ErrOffsetTooLarge     = errors.New("task offset beyond hyperperiod")
+	ErrNegativeJitter     = errors.New("task jitter must be non-negative")
+	ErrJitterTooLarge     = errors.New("task jitter exceeds period")
+	ErrBadMinInterarrival = errors.New("sporadic minimum interarrival out of range")
+	ErrMinBelowCost       = errors.New("sporadic minimum interarrival below task cost")
 )
 
 // ValidateOptions tunes validation. The paper's base protocol forbids
@@ -263,6 +314,34 @@ func (s *System) Validate(opts ValidateOptions) error {
 		}
 		if t.Period <= 0 {
 			return fmt.Errorf("%w: task %d", ErrBadPeriod, t.ID)
+		}
+	}
+
+	// Release-model checks need every period validated first: the offset
+	// bound is the system hyperperiod.
+	hyper := s.Hyperperiod()
+	for _, t := range s.Tasks {
+		if t.Offset < 0 {
+			return fmt.Errorf("%w: task %d offset %d", ErrNegativeOffset, t.ID, t.Offset)
+		}
+		if t.Offset > hyper {
+			return fmt.Errorf("%w: task %d offset %d, hyperperiod %d",
+				ErrOffsetTooLarge, t.ID, t.Offset, hyper)
+		}
+		if t.Jitter < 0 {
+			return fmt.Errorf("%w: task %d jitter %d", ErrNegativeJitter, t.ID, t.Jitter)
+		}
+		if t.Jitter > t.Period {
+			return fmt.Errorf("%w: task %d jitter %d, period %d",
+				ErrJitterTooLarge, t.ID, t.Jitter, t.Period)
+		}
+		if t.MinInterarrival < 0 || t.MinInterarrival > t.Period {
+			return fmt.Errorf("%w: task %d min interarrival %d, period %d",
+				ErrBadMinInterarrival, t.ID, t.MinInterarrival, t.Period)
+		}
+		if t.MinInterarrival > 0 && t.MinInterarrival < t.WCET() {
+			return fmt.Errorf("%w: task %d min interarrival %d, cost %d",
+				ErrMinBelowCost, t.ID, t.MinInterarrival, t.WCET())
 		}
 	}
 
@@ -494,6 +573,18 @@ func (s *System) Hyperperiod() int {
 		}
 	}
 	return l
+}
+
+// HasReleaseVariance reports whether any task's release sequence depends
+// on seed-derived draws (see Task.HasReleaseVariance). Variance-free
+// systems ignore ReleaseSeed entirely.
+func (s *System) HasReleaseVariance() bool {
+	for _, t := range s.Tasks {
+		if t.HasReleaseVariance() {
+			return true
+		}
+	}
+	return false
 }
 
 // MaxOffset returns the largest release offset in the task set.

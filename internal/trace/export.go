@@ -57,6 +57,7 @@ var kindNames = map[EventKind]string{
 	EvFinish:        "finish",
 	EvDeadlineMiss:  "deadline-miss",
 	EvReady:         "ready",
+	EvAbort:         "abort",
 }
 
 var kindValues = func() map[string]EventKind {

@@ -31,6 +31,7 @@ const (
 	EvFinish                             // job completed
 	EvDeadlineMiss                       // job passed its absolute deadline before finishing
 	EvReady                              // job woken: blocked/suspended/spinning -> ready
+	EvAbort                              // job killed by the abort-on-miss overload policy
 )
 
 func (k EventKind) String() string {
@@ -61,6 +62,8 @@ func (k EventKind) String() string {
 		return "deadline-miss"
 	case EvReady:
 		return "ready"
+	case EvAbort:
+		return "abort"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -259,7 +262,7 @@ func (l *Log) Summary() string {
 	}
 	kinds := []EventKind{
 		EvRelease, EvReady, EvStart, EvPreempt, EvLock, EvBlockLocal, EvSuspendGlobal,
-		EvSpinGlobal, EvUnlock, EvGrant, EvInherit, EvFinish, EvDeadlineMiss,
+		EvSpinGlobal, EvUnlock, EvGrant, EvInherit, EvFinish, EvDeadlineMiss, EvAbort,
 	}
 	var b strings.Builder
 	for _, k := range kinds {

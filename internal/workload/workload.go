@@ -51,6 +51,18 @@ type Config struct {
 	// task's period) so critical sections collide instead of executing in
 	// priority order from a synchronous start.
 	Stagger bool
+
+	// Sporadic switches every task to the sporadic release model: its
+	// minimum interarrival is MinGapFrac of its period (at least its WCET),
+	// and successive arrivals are drawn by the simulator from
+	// [min, 2*period-min], keeping the mean rate at 1/period. A zero
+	// MinGapFrac defaults to 0.5.
+	Sporadic   bool
+	MinGapFrac float64
+
+	// MaxJitterFrac gives every task a release jitter of that fraction of
+	// its period (rounded, clamped to the period). Zero disables jitter.
+	MaxJitterFrac float64
 }
 
 // Default returns a reasonable baseline configuration: 4 processors,
@@ -92,6 +104,12 @@ func (c Config) Validate() error {
 	}
 	if c.UtilPerProc <= 0 || c.UtilPerProc >= 1 {
 		return fmt.Errorf("workload: UtilPerProc %.2f out of (0,1)", c.UtilPerProc)
+	}
+	if c.MinGapFrac < 0 || c.MinGapFrac > 1 {
+		return fmt.Errorf("workload: MinGapFrac %.2f out of [0,1]", c.MinGapFrac)
+	}
+	if c.MaxJitterFrac < 0 || c.MaxJitterFrac > 1 {
+		return fmt.Errorf("workload: MaxJitterFrac %.2f out of [0,1]", c.MaxJitterFrac)
 	}
 	return nil
 }
@@ -145,22 +163,57 @@ func Generate(cfg Config) (*task.System, error) {
 			if cfg.Stagger {
 				offset = (int(id) * period) / (cfg.NumProcs*cfg.TasksPerProc + 1)
 			}
+			minGap := 0
+			if cfg.Sporadic {
+				frac := cfg.MinGapFrac
+				if frac == 0 {
+					frac = 0.5
+				}
+				minGap = int(math.Round(frac * float64(period)))
+				if w := bodyWCET(body); minGap < w {
+					minGap = w
+				}
+				if minGap > period {
+					minGap = period
+				}
+			}
+			jitter := int(math.Round(cfg.MaxJitterFrac * float64(period)))
+			if jitter > period {
+				jitter = period
+			}
 			sys.AddTask(&task.Task{
-				ID:     id,
-				Name:   fmt.Sprintf("T%d", id),
-				Proc:   task.ProcID(p),
-				Period: period,
-				Offset: offset,
-				Body:   body,
+				ID:              id,
+				Name:            fmt.Sprintf("T%d", id),
+				Proc:            task.ProcID(p),
+				Period:          period,
+				Offset:          offset,
+				Body:            body,
+				MinInterarrival: minGap,
+				Jitter:          jitter,
 			})
 			id++
 		}
 	}
 	task.AssignRateMonotonic(sys)
+	// Key the simulator's release draws by the workload seed so a system's
+	// sporadic/jittered timeline is as reproducible as its structure.
+	sys.ReleaseSeed = cfg.Seed
 	if err := sys.Validate(task.ValidateOptions{}); err != nil {
 		return nil, fmt.Errorf("workload: generated system invalid: %w", err)
 	}
 	return sys, nil
+}
+
+// bodyWCET sums the compute segments of a built body (the generated
+// task's C_i), used to keep sporadic minimum interarrivals feasible.
+func bodyWCET(body []task.Segment) int {
+	total := 0
+	for _, seg := range body {
+		if seg.Kind == task.SegCompute {
+			total += seg.Duration
+		}
+	}
+	return total
 }
 
 // uuniFast distributes total utilization among n tasks (Bini & Buttazzo's

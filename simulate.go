@@ -36,6 +36,17 @@ type (
 	// SpanContext identifies a position in a span trace; the zero value
 	// means "start a fresh trace".
 	SpanContext = span.Context
+	// OverloadPolicy selects the deadline-miss semantics of a run (see
+	// WithOverloadPolicy).
+	OverloadPolicy = sim.OverloadPolicy
+)
+
+// Overload policies for WithOverloadPolicy. OverloadContinue (the
+// default) lets jobs run past their deadlines; OverloadAbort kills a job
+// at its deadline, force-releasing its semaphores.
+const (
+	OverloadContinue = sim.OverloadContinue
+	OverloadAbort    = sim.OverloadAbort
 )
 
 // simSettings is the resolved configuration of a Session: the engine
@@ -97,6 +108,26 @@ func WithMetrics(reg *MetricsRegistry) SimOption {
 // A nil tracer is a no-op, like every span call site.
 func WithSpans(tr *SpanTracer, parent SpanContext) SimOption {
 	return func(s *simSettings) { s.tracer, s.spanParent = tr, parent }
+}
+
+// WithReleaseModel keys the run's sporadic-gap and release-jitter draws
+// with seed, overriding the system's own ReleaseSeed. It only matters for
+// systems with release variance (sporadic tasks below their period, or
+// nonzero jitter); two runs of such a system with equal seeds produce
+// byte-identical release sequences. A zero seed keeps the system's seed.
+func WithReleaseModel(seed int64) SimOption {
+	return func(s *simSettings) { s.cfg.ReleaseSeed = seed }
+}
+
+// WithOverloadPolicy selects what happens to jobs that are still
+// incomplete at their deadline: OverloadContinue (the default) records
+// the miss and keeps executing; OverloadAbort kills the job before it can
+// execute at or past its deadline, force-releasing any semaphores it
+// holds through the protocol's normal unlock path. Miss ratios and abort
+// counts flow into WithMetrics registries as miss_ratio{task=} and
+// jobs_aborted{task=}.
+func WithOverloadPolicy(p OverloadPolicy) SimOption {
+	return func(s *simSettings) { s.cfg.Overload = p }
 }
 
 // WithReferenceStepper disables the event-horizon fast path: every Step
