@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json bench-sim bench-sweep bench-obs repro repro-verify sweep sweep-smoke sweepd-smoke obs-smoke metrics-demo check check-smoke fuzz vet rtvet fmt lint cover clean
+.PHONY: all build test test-short bench bench-json bench-sim bench-sweep bench-obs repro repro-verify sweep sweep-smoke sweepd-smoke obs-smoke metrics-demo check check-smoke fuzz vet rtvet vet-alloc fmt lint cover clean
 
 all: build test
 
@@ -105,11 +105,20 @@ fuzz:
 vet:
 	$(GO) vet ./...
 
-# Domain analyzers: determinism, lockdiscipline, exhaustiveswitch,
-# floatcompare, jsonstable (docs/static-analysis.md). Needs nothing
-# beyond the Go toolchain — the checker lives in internal/lint.
+# Domain analyzers: determinism, lockdiscipline, allocbudget,
+# protocontract, lockorder, exhaustiveswitch, floatcompare, jsonstable
+# (docs/static-analysis.md). Needs nothing beyond the Go toolchain —
+# the checker lives in internal/lint.
 rtvet:
 	$(GO) run ./cmd/rtvet ./...
+
+# Cross-check the //rtlint:hotpath allocation budgets against the
+# compiler's own escape analysis (go build -gcflags=-m): any "escapes
+# to heap" inside an annotated function fails, so allocbudget's AST
+# view and the real escape decisions cannot drift apart
+# (docs/static-analysis.md, "Hot-path budgets").
+vet-alloc:
+	$(GO) run ./cmd/rtvet -escapes ./...
 
 # Lint gate: vet + domain analyzers + format check, plus staticcheck
 # when the binary is on PATH (CI installs it; locally it is optional and

@@ -1,9 +1,10 @@
 // Command rtvet is the multichecker for the repository's domain
-// analyzers (internal/lint): determinism, lockdiscipline,
-// exhaustiveswitch, floatcompare and jsonstable. It is the compile-time
-// complement to the runtime conformance oracles — where rtcheck catches
-// a contract violation when it happens to manifest in a trace, rtvet
-// rejects the code path that could violate it at all.
+// analyzers (internal/lint): determinism, lockdiscipline, allocbudget,
+// protocontract, lockorder, exhaustiveswitch, floatcompare and
+// jsonstable. It is the compile-time complement to the runtime
+// conformance oracles — where rtcheck catches a contract violation when
+// it happens to manifest in a trace, rtvet rejects the code path that
+// could violate it at all.
 //
 // Usage:
 //
@@ -12,13 +13,16 @@
 //	rtvet -only determinism ...  # run a subset, comma-separated
 //	rtvet -unscoped ...          # apply every analyzer to every package
 //	rtvet -json ...              # findings as a JSON array
+//	rtvet -sarif ...             # findings as SARIF 2.1.0 (CI artifact)
+//	rtvet -escapes ...           # -gcflags=-m escape check of hotpaths
+//	rtvet -suppressions ...      # audit //rtlint:allow justifications
 //	rtvet -C dir ...             # run in another module directory
 //
 // Findings print as file:line:col: analyzer: message. Exit status is 0
-// when clean, 1 when there are findings, 2 when loading fails.
-// Individual lines are suppressed with `//rtlint:allow <analyzer>
-// <justification>` on the finding's line or the line above
-// (docs/static-analysis.md).
+// when clean, 1 when there are findings (or, under -suppressions, a
+// suppression without justification), 2 when loading fails. Individual
+// lines are suppressed with `//rtlint:allow <analyzer> <justification>`
+// on the finding's line or the line above (docs/static-analysis.md).
 package main
 
 import (
@@ -41,11 +45,14 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("rtvet", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		list     = fs.Bool("list", false, "list analyzers and their scopes, then exit")
-		only     = fs.String("only", "", "comma-separated analyzer names to run (default all)")
-		unscoped = fs.Bool("unscoped", false, "ignore per-analyzer package scopes and check everything")
-		asJSON   = fs.Bool("json", false, "print findings as a JSON array")
-		chdir    = fs.String("C", ".", "module directory to run in")
+		list         = fs.Bool("list", false, "list analyzers and their scopes, then exit")
+		only         = fs.String("only", "", "comma-separated analyzer names to run (default all)")
+		unscoped     = fs.Bool("unscoped", false, "ignore per-analyzer package scopes and check everything")
+		asJSON       = fs.Bool("json", false, "print findings as a JSON array")
+		asSARIF      = fs.Bool("sarif", false, "print findings as SARIF 2.1.0")
+		escapes      = fs.Bool("escapes", false, "cross-check //rtlint:hotpath functions against go build -gcflags=-m")
+		suppressions = fs.Bool("suppressions", false, "audit //rtlint:allow comments; fail on empty justifications")
+		chdir        = fs.String("C", ".", "module directory to run in")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -92,13 +99,29 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "rtvet:", err)
 		return 2
 	}
-	diags, err := lint.RunSuite(dir, suite, fs.Args()...)
+
+	if *suppressions {
+		return runSuppressions(dir, fs.Args(), out, errOut)
+	}
+
+	var diags []lint.Diagnostic
+	if *escapes {
+		diags, err = lint.CheckEscapes(dir, fs.Args()...)
+	} else {
+		diags, err = lint.RunSuite(dir, suite, fs.Args()...)
+	}
 	if err != nil {
 		fmt.Fprintln(errOut, "rtvet:", err)
 		return 2
 	}
 
-	if *asJSON {
+	switch {
+	case *asSARIF:
+		if err := writeSARIF(out, dir, suite, diags); err != nil {
+			fmt.Fprintln(errOut, "rtvet:", err)
+			return 2
+		}
+	case *asJSON:
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		type finding struct {
@@ -119,7 +142,7 @@ func run(args []string, out, errOut io.Writer) int {
 			fmt.Fprintln(errOut, "rtvet:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			d.Pos.Filename = relTo(dir, d.Pos.Filename)
 			fmt.Fprintln(out, d)
@@ -130,6 +153,120 @@ func run(args []string, out, errOut io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runSuppressions implements the audit mode: every //rtlint:allow in
+// the loaded packages is listed with its justification, and a
+// suppression that names an analyzer but offers no reason fails the
+// audit — an unexplained suppression is a finding waiting to come back.
+func runSuppressions(dir string, patterns []string, out, errOut io.Writer) int {
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(errOut, "rtvet:", err)
+		return 2
+	}
+	sups := lint.Suppressions(pkgs)
+	missing := 0
+	for _, s := range sups {
+		just := s.Justification
+		if just == "" {
+			just = "MISSING JUSTIFICATION"
+			missing++
+		}
+		fmt.Fprintf(out, "%s:%d: %s: %s\n", relTo(dir, s.Pos.Filename), s.Pos.Line, s.Analyzer, just)
+	}
+	fmt.Fprintf(errOut, "rtvet: %d suppression(s), %d without justification\n", len(sups), missing)
+	if missing > 0 {
+		return 1
+	}
+	return 0
+}
+
+// SARIF 2.1.0 output, minimal but schema-valid: one run, one rule per
+// suite analyzer, module-relative artifact URIs.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+func writeSARIF(out io.Writer, dir string, suite []lint.Scoped, diags []lint.Diagnostic) error {
+	driver := sarifDriver{Name: "rtvet"}
+	for _, sc := range suite {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               sc.Analyzer.Name,
+			ShortDescription: sarifText{Text: sc.Analyzer.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(relTo(dir, d.Pos.Filename))},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	})
 }
 
 // relTo shortens absolute finding paths to module-relative ones.

@@ -66,10 +66,104 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, errOut.String())
 	}
-	for _, name := range []string{"determinism", "lockdiscipline", "exhaustiveswitch", "floatcompare", "jsonstable"} {
+	for _, name := range []string{
+		"determinism", "lockdiscipline", "allocbudget", "protocontract",
+		"lockorder", "exhaustiveswitch", "floatcompare", "jsonstable",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
+	}
+}
+
+func TestRunSARIF(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-sarif", "-unscoped", "-only", "floatcompare", fixtureDir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("output is not SARIF JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF envelope: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "rtvet" || len(r.Tool.Driver.Rules) == 0 {
+		t.Errorf("driver not described: %+v", r.Tool.Driver)
+	}
+	if len(r.Results) == 0 {
+		t.Fatal("SARIF run has no results")
+	}
+	for _, res := range r.Results {
+		if res.RuleID != "floatcompare" || res.Level != "error" {
+			t.Errorf("unexpected result %+v", res)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result without location: %+v", res)
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if !strings.HasPrefix(loc.ArtifactLocation.URI, "internal/lint/testdata/") || loc.Region.StartLine == 0 {
+			t.Errorf("location not module-relative: %+v", loc)
+		}
+	}
+}
+
+// TestRunSuppressionsAudit runs the audit over the repository: every
+// //rtlint:allow must carry a justification, and the listing must name
+// the analyzers it silences.
+func TestRunSuppressionsAudit(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-suppressions", "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (a suppression without justification?)\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if strings.Contains(out.String(), "MISSING JUSTIFICATION") {
+		t.Errorf("audit lists unjustified suppressions:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "suppression(s)") {
+		t.Errorf("stderr missing summary:\n%s", errOut.String())
+	}
+}
+
+// TestRunSuppressionsFailsOnEmptyJustification proves the audit's
+// failure mode on a fixture suppression that names an analyzer but
+// gives no reason.
+func TestRunSuppressionsFailsOnEmptyJustification(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-suppressions", "./internal/lint/testdata/src/suppressions"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "MISSING JUSTIFICATION") {
+		t.Errorf("audit did not flag the empty justification:\n%s", out.String())
 	}
 }
 

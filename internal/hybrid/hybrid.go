@@ -222,7 +222,8 @@ func (p *Protocol) Unlock(e *sim.Engine, j *sim.Job, s task.SemID) {
 	g, isShm := p.shm[s]
 	if !isShm {
 		if _, isRemote := p.remote[s]; isRemote {
-			return // remote unlocks happen inside the agent; nothing here
+			//rtlint:allow protocontract remote sections release through the agent's completion in agentDone
+			return
 		}
 		p.locals[j.Proc].Unlock(e, j, s)
 		return

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AllocBudget enforces a zero-heap-allocation budget on functions
+// annotated
+//
+//	//rtlint:hotpath
+//
+// in their doc comment (ROADMAP item 3: the per-tick simulator loop,
+// the release queue and the priority queue must stop allocating so a
+// hyperperiod simulation runs garbage-free). Inside an annotated
+// function every reachable CFG node is checked for the constructs that
+// the compiler turns into heap allocations:
+//
+//   - &-taken or escaping composite literals, slice and map literals;
+//   - make and new calls;
+//   - closures (function literals capture their environment);
+//   - append calls that can grow the backing array — the shrinking
+//     removal idiom append(x[:i], x[i+1:]...) is exempt, it can never
+//     exceed the existing capacity;
+//   - interface boxing: a concrete non-pointer-shaped value assigned,
+//     passed (including variadic ...any — the fmt argument slab),
+//     returned or converted to an interface type allocates the box.
+//
+// The check is syntactic over typed ASTs and deliberately
+// over-approximates (the compiler may yet prove a construct
+// non-escaping); `rtvet -escapes` cross-checks the annotated ranges
+// against the real escape analysis (`go build -gcflags=-m`), and both
+// report under this analyzer's name so one //rtlint:allow allocbudget
+// with justification covers a deliberate cold-path allocation (error
+// construction on paths that end the run).
+var AllocBudget = &Analyzer{
+	Name: "allocbudget",
+	Doc:  "forbids heap-allocating constructs in //rtlint:hotpath functions",
+}
+
+func init() {
+	AllocBudget.Run = func(pass *Pass) {
+		inspectFuncs(pass.Pkg, func(decl *ast.FuncDecl) {
+			if !isHotpath(decl) {
+				return
+			}
+			cfg := NewCFG(decl.Body)
+			ab := &allocChecker{pass: pass, sig: funcSignature(pass.Pkg.Info, decl)}
+			for _, blk := range cfg.Blocks {
+				if !blk.Live {
+					continue
+				}
+				for _, n := range blk.Nodes {
+					ab.node(n)
+				}
+			}
+		})
+	}
+}
+
+// isHotpath reports whether the declaration's doc comment carries the
+// //rtlint:hotpath directive.
+func isHotpath(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.TrimSpace(c.Text) == "//rtlint:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+// hotpathFuncs returns every annotated declaration in the package.
+func hotpathFuncs(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	inspectFuncs(pkg, func(decl *ast.FuncDecl) {
+		if isHotpath(decl) {
+			out = append(out, decl)
+		}
+	})
+	return out
+}
+
+func funcSignature(info *types.Info, decl *ast.FuncDecl) *types.Signature {
+	if obj, ok := info.Defs[decl.Name].(*types.Func); ok {
+		return obj.Type().(*types.Signature)
+	}
+	return nil
+}
+
+type allocChecker struct {
+	pass *Pass
+	sig  *types.Signature
+}
+
+// node walks one CFG node. Select markers are shallow (their bodies are
+// separate blocks); function literals are flagged once and not entered.
+func (a *allocChecker) node(n ast.Node) {
+	if _, ok := n.(*ast.SelectStmt); ok {
+		return
+	}
+	info := a.pass.Pkg.Info
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			a.pass.Reportf(n.Pos(), "hot path allocates: closure captures its environment; hoist it out of the //rtlint:hotpath function")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					a.pass.Reportf(n.Pos(), "hot path allocates: &-composite literal escapes to the heap")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.Types[n].Type
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					a.pass.Reportf(n.Pos(), "hot path allocates: slice literal")
+				case *types.Map:
+					a.pass.Reportf(n.Pos(), "hot path allocates: map literal")
+				}
+			}
+		case *ast.CallExpr:
+			a.call(n)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) {
+					break // comma-ok / multi-value call; handled via the call itself
+				}
+				lt := info.Types[n.Lhs[i]].Type
+				a.boxing(rhs, lt, "assigned to")
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if i < len(n.Names) {
+					if obj := info.Defs[n.Names[i]]; obj != nil {
+						a.boxing(v, obj.Type(), "assigned to")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if a.sig != nil && a.sig.Results().Len() == len(n.Results) {
+				for i, res := range n.Results {
+					a.boxing(res, a.sig.Results().At(i).Type(), "returned as")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// call checks one call expression: builtin allocators, append growth,
+// interface conversions, and boxing at the parameter boundary.
+func (a *allocChecker) call(call *ast.CallExpr) {
+	info := a.pass.Pkg.Info
+	// Builtins and conversions first: their Fun is not a *types.Func.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				a.pass.Reportf(call.Pos(), "hot path allocates: make")
+			case "new":
+				a.pass.Reportf(call.Pos(), "hot path allocates: new")
+			case "append":
+				if !isShrinkingAppend(call) {
+					a.pass.Reportf(call.Pos(), "hot path allocates: append may grow the backing array; pre-size the slice or use the shrinking removal idiom")
+				}
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		// Conversion: T(x). Only interface targets box.
+		if len(call.Args) == 1 {
+			a.boxing(call.Args[0], tv.Type, "converted to")
+		}
+		return
+	}
+	sigT, _ := info.Types[ast.Unparen(call.Fun)].Type.(*types.Signature)
+	if sigT == nil {
+		return
+	}
+	params := sigT.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sigT.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if call.Ellipsis.IsValid() {
+				pt = last // s... passes the slice through, no per-element box
+			} else if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		a.boxing(arg, pt, "passed as")
+	}
+}
+
+// boxing reports when expr, a concrete non-pointer-shaped value, meets
+// an interface-typed destination: the runtime copies the value into a
+// heap box. Pointer-shaped kinds (pointers, channels, maps, funcs) are
+// stored directly in the interface word and do not allocate.
+func (a *allocChecker) boxing(expr ast.Expr, dst types.Type, how string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	if _, ok := dst.(*types.TypeParam); ok {
+		return
+	}
+	tv := a.pass.Pkg.Info.Types[expr]
+	if tv.Type == nil || tv.IsNil() {
+		return
+	}
+	src := tv.Type
+	if _, ok := src.(*types.TypeParam); ok {
+		return
+	}
+	if types.IsInterface(src) || pointerShaped(src) {
+		return
+	}
+	a.pass.Reportf(expr.Pos(), "hot path allocates: %s %s interface %s boxes the value on the heap", types.TypeString(src, types.RelativeTo(a.pass.Pkg.Types)), how, types.TypeString(dst, types.RelativeTo(a.pass.Pkg.Types)))
+}
+
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return true
+	}
+	return false
+}
+
+// isShrinkingAppend recognizes the removal idiom
+// append(x[:i], x[j:]...) over one and the same base slice, whose
+// result can never exceed the existing capacity.
+func isShrinkingAppend(call *ast.CallExpr) bool {
+	if len(call.Args) != 2 || !call.Ellipsis.IsValid() {
+		return false
+	}
+	dst, ok := call.Args[0].(*ast.SliceExpr)
+	if !ok || dst.Low != nil || dst.High == nil || dst.Max != nil {
+		return false // must be the prefix x[:i]
+	}
+	src, ok := call.Args[1].(*ast.SliceExpr)
+	if !ok || src.Low == nil || src.High != nil || src.Max != nil {
+		return false // must be the suffix x[j:]
+	}
+	return types.ExprString(dst.X) == types.ExprString(src.X)
+}

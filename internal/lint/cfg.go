@@ -1,0 +1,416 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// This file is the shared control-flow layer under the branch-sensitive
+// analyzers (lockdiscipline, allocbudget, protocontract, lockorder). A
+// CFG is built per function body from syntax alone — no type
+// information — so it can also be unit-tested on parsed snippets. The
+// graph is intraprocedural; interprocedural analyzers combine per-
+// function CFGs with call summaries.
+//
+// Node granularity is deliberately shallow: a Block's Nodes slice holds
+// simple statements (assignments, expression statements, sends, defers,
+// returns, ...) and the bare condition/tag expressions of the control
+// statements that end the block. Compound statements themselves (if,
+// for, switch) never appear as nodes — their components are split into
+// blocks — with one exception: a *ast.SelectStmt appears as a marker
+// node so analyzers can see "a select happens here", and its clause
+// bodies are split into successor blocks. Transfer functions must
+// therefore treat SelectStmt nodes shallowly and never ast.Inspect
+// through them.
+
+// A Block is a maximal straight-line run of nodes with a single entry.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Live reports whether the block is reachable from Entry. Dead
+	// blocks (code after return/break/panic) keep their edges but never
+	// propagate dataflow facts.
+	Live bool
+}
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry *Block
+	Exit  *Block
+	// Blocks lists every block in creation order; Block.Index indexes
+	// into it.
+	Blocks []*Block
+	// FallsOff is the block that reaches Exit by falling off the end of
+	// the body. It always exists; when every path returns it is simply
+	// not Live.
+	FallsOff *Block
+	// Defers collects defer statements in source order. Deferred calls
+	// run on every exit edge (including panics), so exit-path analyses
+	// fold their effects into each exit point.
+	Defers []*ast.DeferStmt
+}
+
+// NewCFG builds the control-flow graph of body.
+//
+// panic(...) calls are treated as terminators with an edge to Exit but
+// are not recorded as fall-off exits, so exit-path analyses can
+// distinguish a crash from a return. The classification is syntactic
+// (an identifier literally named panic); shadowing the builtin would be
+// rejected elsewhere long before it confused an analyzer.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{}
+	b := &cfgBuilder{cfg: c, labels: map[string]*Block{}}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	b.cur = c.Entry
+	b.stmts(body.List)
+	c.FallsOff = b.cur
+	addEdge(b.cur, c.Exit)
+
+	var mark func(*Block)
+	mark = func(bl *Block) {
+		if bl.Live {
+			return
+		}
+		bl.Live = true
+		for _, s := range bl.Succs {
+			mark(s)
+		}
+	}
+	mark(c.Entry)
+	return c
+}
+
+type cfgFrame struct {
+	label  string
+	target *Block
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// brk and cont are the enclosing break/continue target stacks; fall
+	// is the fallthrough target stack (next case clause, nil for the
+	// last one).
+	brk  []cfgFrame
+	cont []cfgFrame
+	fall []*Block
+	// labels maps label names to their blocks, created on first use so
+	// forward gotos resolve without a second pass.
+	labels map[string]*Block
+	// pendingLabel is the label of the immediately-enclosing labeled
+	// statement, consumed by the loop/switch/select it labels.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	bl := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, bl)
+	return bl
+}
+
+func addEdge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// terminate ends the current block (after a return, branch or panic)
+// and continues building into a fresh, unreachable one so trailing dead
+// code still gets blocks.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if bl, ok := b.labels[name]; ok {
+		return bl
+	}
+	bl := b.newBlock()
+	b.labels[name] = bl
+	return bl
+}
+
+func (b *cfgBuilder) findFrame(frames []cfgFrame, label *ast.Ident) *Block {
+	if len(frames) == 0 {
+		return nil
+	}
+	if label == nil {
+		return frames[len(frames)-1].target
+	}
+	for i := len(frames) - 1; i >= 0; i-- {
+		if frames[i].label == label.Name {
+			return frames[i].target
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// A pending label applies only to the directly-labeled statement.
+	lbl := b.pendingLabel
+	b.pendingLabel = ""
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		addEdge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock()
+		addEdge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		elseEnd := cond
+		if s.Else != nil {
+			els := b.newBlock()
+			addEdge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		join := b.newBlock()
+		addEdge(thenEnd, join)
+		addEdge(elseEnd, join)
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		addEdge(b.cur, head)
+		exit := b.newBlock()
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			addEdge(head, exit)
+		}
+		post := b.newBlock()
+		body := b.newBlock()
+		addEdge(head, body)
+		b.brk = append(b.brk, cfgFrame{lbl, exit})
+		b.cont = append(b.cont, cfgFrame{lbl, post})
+		b.cur = body
+		b.stmts(s.Body.List)
+		addEdge(b.cur, post)
+		b.brk = b.brk[:len(b.brk)-1]
+		b.cont = b.cont[:len(b.cont)-1]
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		addEdge(b.cur, head)
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock()
+		addEdge(b.cur, head)
+		exit := b.newBlock()
+		addEdge(head, exit)
+		body := b.newBlock()
+		addEdge(head, body)
+		b.brk = append(b.brk, cfgFrame{lbl, exit})
+		b.cont = append(b.cont, cfgFrame{lbl, head})
+		b.cur = body
+		b.stmts(s.Body.List)
+		addEdge(b.cur, head)
+		b.brk = b.brk[:len(b.brk)-1]
+		b.cont = b.cont[:len(b.cont)-1]
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(lbl, s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(lbl, s.Body.List)
+
+	case *ast.SelectStmt:
+		// The SelectStmt node itself is the shallow marker; the comm
+		// statements are part of the select's atomic rendezvous and are
+		// deliberately not re-added as clause nodes.
+		b.add(s)
+		sel := b.cur
+		exit := b.newBlock()
+		b.brk = append(b.brk, cfgFrame{lbl, exit})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			addEdge(sel, blk)
+			b.cur = blk
+			b.stmts(cc.Body)
+			addEdge(b.cur, exit)
+		}
+		b.brk = b.brk[:len(b.brk)-1]
+		b.cur = exit
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		addEdge(b.cur, b.cfg.Exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "break":
+			if t := b.findFrame(b.brk, s.Label); t != nil {
+				addEdge(b.cur, t)
+			}
+		case "continue":
+			if t := b.findFrame(b.cont, s.Label); t != nil {
+				addEdge(b.cur, t)
+			}
+		case "goto":
+			addEdge(b.cur, b.labelBlock(s.Label.Name))
+		case "fallthrough":
+			if n := len(b.fall); n > 0 && b.fall[n-1] != nil {
+				addEdge(b.cur, b.fall[n-1])
+			}
+		}
+		b.terminate()
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				addEdge(b.cur, b.cfg.Exit)
+				b.terminate()
+			}
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assignments, declarations, sends, inc/dec, go statements:
+		// straight-line nodes.
+		b.add(s)
+	}
+}
+
+// switchBody builds the clause blocks shared by expression and type
+// switches. The tag block (b.cur) fans out to every clause; a missing
+// default adds the skip edge to the exit.
+func (b *cfgBuilder) switchBody(label string, clauses []ast.Stmt) {
+	tag := b.cur
+	exit := b.newBlock()
+	b.brk = append(b.brk, cfgFrame{label, exit})
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		blocks[i] = b.newBlock()
+		addEdge(tag, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		addEdge(tag, exit)
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		for _, e := range cc.List {
+			blocks[i].Nodes = append(blocks[i].Nodes, e)
+		}
+		var next *Block
+		if i+1 < len(clauses) {
+			next = blocks[i+1]
+		}
+		b.fall = append(b.fall, next)
+		b.cur = blocks[i]
+		b.stmts(cc.Body)
+		addEdge(b.cur, exit)
+		b.fall = b.fall[:len(b.fall)-1]
+	}
+	b.brk = b.brk[:len(b.brk)-1]
+	b.cur = exit
+}
+
+// A Dataflow runs a forward may/must analysis over a CFG to a fixpoint.
+// F is the fact type; Bottom is the "unreachable" fact every non-entry
+// block starts from, Join merges the fact flowing in over one edge into
+// a block's current in-fact, and Transfer computes a block's out-fact
+// from its in-fact. Transfer must not mutate its input (clone first)
+// and the fact lattice must be finite for termination, which holds for
+// the set- and map-shaped facts the analyzers here use.
+type Dataflow[F any] struct {
+	CFG      *CFG
+	Entry    F
+	Bottom   func() F
+	Join     func(dst, src F) F
+	Equal    func(a, b F) bool
+	Transfer func(blk *Block, in F) F
+}
+
+// Run returns the fixpoint in-fact for every block, indexed by
+// Block.Index. Dead blocks keep their Bottom fact: they are never
+// enqueued, so their outgoing edges never propagate.
+func (d Dataflow[F]) Run() []F {
+	in := make([]F, len(d.CFG.Blocks))
+	for i := range in {
+		in[i] = d.Bottom()
+	}
+	in[d.CFG.Entry.Index] = d.Entry
+	queued := make([]bool, len(d.CFG.Blocks))
+	work := []*Block{d.CFG.Entry}
+	queued[d.CFG.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		out := d.Transfer(blk, in[blk.Index])
+		for _, s := range blk.Succs {
+			merged := d.Join(in[s.Index], out)
+			if d.Equal(in[s.Index], merged) {
+				continue
+			}
+			in[s.Index] = merged
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

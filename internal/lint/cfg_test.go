@@ -1,0 +1,422 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The CFG tests assert successor/predecessor structure through marker
+// calls: every mark("x") call names the block containing it, and the
+// expected graph lists, for each marker, the set of markers reachable
+// from its block without passing through another marked block. That
+// keeps the expectations stable under join-block introduction while
+// still pinning every branch, loop, and jump edge.
+
+func buildTestCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	decl := f.Decls[0].(*ast.FuncDecl)
+	return NewCFG(decl.Body)
+}
+
+// markOf returns the marker name if the node is a mark("x") call.
+func markOf(n ast.Node) (string, bool) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "mark" || len(call.Args) != 1 {
+		return "", false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return "", false
+	}
+	return strings.Trim(lit.Value, `"`), true
+}
+
+// markerGraph reduces the CFG to edges between marked blocks. "entry"
+// and "exit" are implicit markers on the entry and exit blocks.
+func markerGraph(t *testing.T, c *CFG) map[string][]string {
+	t.Helper()
+	names := map[*Block]string{c.Exit: "exit"}
+	if _, ok := firstMark(c.Entry); !ok {
+		names[c.Entry] = "entry"
+	}
+	for _, b := range c.Blocks {
+		if m, ok := firstMark(b); ok {
+			if prev, dup := names[b]; dup {
+				t.Fatalf("markers %q and %q landed in the same block", prev, m)
+			}
+			names[b] = m
+		}
+	}
+	graph := map[string][]string{}
+	for b, name := range names {
+		if b == c.Exit {
+			continue
+		}
+		seen := map[*Block]bool{}
+		reach := map[string]bool{}
+		var walk func(*Block)
+		walk = func(s *Block) {
+			if seen[s] {
+				return
+			}
+			seen[s] = true
+			if n, ok := names[s]; ok {
+				reach[n] = true
+				return
+			}
+			for _, nx := range s.Succs {
+				walk(nx)
+			}
+		}
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		var out []string
+		for n := range reach {
+			out = append(out, n)
+		}
+		sort.Strings(out)
+		graph[name] = out
+	}
+	return graph
+}
+
+func firstMark(b *Block) (string, bool) {
+	for _, n := range b.Nodes {
+		if m, ok := markOf(n); ok {
+			return m, true
+		}
+	}
+	return "", false
+}
+
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want map[string][]string
+	}{
+		{
+			name: "if-else",
+			body: `if c { mark("t") } else { mark("f") }; mark("j")`,
+			want: map[string][]string{
+				"entry": {"f", "t"},
+				"t":     {"j"},
+				"f":     {"j"},
+				"j":     {"exit"},
+			},
+		},
+		{
+			name: "if-no-else",
+			body: `if c { mark("t") }; mark("j")`,
+			want: map[string][]string{
+				"entry": {"j", "t"},
+				"t":     {"j"},
+				"j":     {"exit"},
+			},
+		},
+		{
+			name: "for-loop",
+			body: `mark("s"); for i := 0; i < n; i++ { mark("b") }; mark("x")`,
+			want: map[string][]string{
+				"s": {"b", "x"},
+				"b": {"b", "x"},
+				"x": {"exit"},
+			},
+		},
+		{
+			name: "range-loop",
+			body: `mark("s"); for range xs { mark("b") }; mark("x")`,
+			want: map[string][]string{
+				"s": {"b", "x"},
+				"b": {"b", "x"},
+				"x": {"exit"},
+			},
+		},
+		{
+			name: "infinite-loop-break-continue",
+			body: `for { if c { mark("brk"); break }; if d { mark("cont"); continue }; mark("end") }; mark("after")`,
+			want: map[string][]string{
+				"entry": {"brk", "cont", "end"},
+				"brk":   {"after"},
+				"cont":  {"brk", "cont", "end"},
+				"end":   {"brk", "cont", "end"},
+				"after": {"exit"},
+			},
+		},
+		{
+			name: "switch-fallthrough",
+			body: `mark("s"); switch x { case 1: mark("a"); fallthrough; case 2: mark("b"); default: mark("d") }; mark("j")`,
+			want: map[string][]string{
+				"s": {"a", "b", "d"},
+				"a": {"b"},
+				"b": {"j"},
+				"d": {"j"},
+				"j": {"exit"},
+			},
+		},
+		{
+			name: "switch-no-default-skips",
+			body: `mark("s"); switch x { case 1: mark("a") }; mark("j")`,
+			want: map[string][]string{
+				"s": {"a", "j"},
+				"a": {"j"},
+				"j": {"exit"},
+			},
+		},
+		{
+			name: "type-switch",
+			body: `mark("s"); switch x.(type) { case int: mark("i") }; mark("j")`,
+			want: map[string][]string{
+				"s": {"i", "j"},
+				"i": {"j"},
+				"j": {"exit"},
+			},
+		},
+		{
+			name: "select-blocks-without-default",
+			body: `mark("s"); select { case <-ch: mark("r"); case ch <- v: mark("w") }; mark("j")`,
+			want: map[string][]string{
+				"s": {"r", "w"},
+				"r": {"j"},
+				"w": {"j"},
+				"j": {"exit"},
+			},
+		},
+		{
+			name: "select-with-default",
+			body: `mark("s"); select { case <-ch: mark("r"); default: mark("d") }; mark("j")`,
+			want: map[string][]string{
+				"s": {"d", "r"},
+				"r": {"j"},
+				"d": {"j"},
+				"j": {"exit"},
+			},
+		},
+		{
+			name: "goto-backward",
+			body: `mark("a")
+L:
+	mark("b")
+	if c { goto L }
+	mark("j")`,
+			want: map[string][]string{
+				"a": {"b"},
+				"b": {"b", "j"},
+				"j": {"exit"},
+			},
+		},
+		{
+			name: "goto-forward",
+			body: `if c { goto Done }
+	mark("m")
+Done:
+	mark("d")`,
+			want: map[string][]string{
+				"entry": {"d", "m"},
+				"m":     {"d"},
+				"d":     {"exit"},
+			},
+		},
+		{
+			name: "labeled-break-continue",
+			body: `Outer:
+	for {
+		for {
+			mark("in")
+			if c { break Outer }
+			continue Outer
+		}
+	}
+	mark("after")`,
+			want: map[string][]string{
+				"entry": {"in"},
+				"in":    {"after", "in"},
+				"after": {"exit"},
+			},
+		},
+		{
+			name: "early-return",
+			body: `mark("s"); if c { return }; mark("a")`,
+			want: map[string][]string{
+				"s": {"a", "exit"},
+				"a": {"exit"},
+			},
+		},
+		{
+			name: "panic-terminates",
+			body: `mark("s"); if c { panic("boom") }; mark("a")`,
+			want: map[string][]string{
+				"s": {"a", "exit"},
+				"a": {"exit"},
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := buildTestCFG(t, tc.body)
+			checkMirror(t, c)
+			got := markerGraph(t, c)
+			for name, want := range tc.want {
+				gotSuccs, ok := got[name]
+				if !ok {
+					t.Errorf("marker %q not found in CFG", name)
+					continue
+				}
+				if strings.Join(gotSuccs, ",") != strings.Join(want, ",") {
+					t.Errorf("marker %q: successors = %v, want %v", name, gotSuccs, want)
+				}
+			}
+			for name := range got {
+				if _, ok := tc.want[name]; !ok && name != "entry" {
+					t.Errorf("unexpected marker %q with successors %v", name, got[name])
+				}
+			}
+		})
+	}
+}
+
+// checkMirror asserts the Succs/Preds invariant on every block.
+func checkMirror(t *testing.T, c *CFG) {
+	t.Helper()
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("block %d -> %d edge missing from Preds", b.Index, s.Index)
+			}
+		}
+		for _, p := range b.Preds {
+			found := false
+			for _, s := range p.Succs {
+				if s == b {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("block %d <- %d edge missing from Succs", b.Index, p.Index)
+			}
+		}
+	}
+}
+
+func TestCFGDefersAndFallsOff(t *testing.T) {
+	c := buildTestCFG(t, `defer f(); defer g(); mark("a")`)
+	if len(c.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(c.Defers))
+	}
+	if !c.FallsOff.Live {
+		t.Fatalf("fall-off block should be live")
+	}
+	if m, ok := firstMark(c.FallsOff); !ok || m != "a" {
+		t.Fatalf("fall-off block mark = %q, %v; want \"a\"", m, ok)
+	}
+
+	c = buildTestCFG(t, `return`)
+	if c.FallsOff.Live {
+		t.Fatalf("fall-off block after unconditional return should be dead")
+	}
+}
+
+func TestCFGDeadCode(t *testing.T) {
+	c := buildTestCFG(t, `return; mark("dead")`)
+	for _, b := range c.Blocks {
+		if m, ok := firstMark(b); ok && m == "dead" && b.Live {
+			t.Fatalf("statements after return must be in a dead block")
+		}
+	}
+}
+
+func TestDataflowReachingFixpoint(t *testing.T) {
+	// A tiny reaching-marks analysis: the fact is the set of marker
+	// names executed so far. Checks joins at merges and stabilization
+	// around the loop back edge.
+	c := buildTestCFG(t, `mark("a"); for i := 0; i < n; i++ { if c { mark("b") } else { mark("c") } }; mark("d")`)
+	df := Dataflow[map[string]bool]{
+		CFG:    c,
+		Entry:  map[string]bool{},
+		Bottom: func() map[string]bool { return nil },
+		Join: func(dst, src map[string]bool) map[string]bool {
+			if src == nil {
+				return dst
+			}
+			merged := map[string]bool{}
+			for k := range dst {
+				merged[k] = true
+			}
+			for k := range src {
+				merged[k] = true
+			}
+			return merged
+		},
+		Equal: func(a, b map[string]bool) bool {
+			if (a == nil) != (b == nil) || len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(blk *Block, in map[string]bool) map[string]bool {
+			out := map[string]bool{}
+			for k := range in {
+				out[k] = true
+			}
+			for _, n := range blk.Nodes {
+				if m, ok := markOf(n); ok {
+					out[m] = true
+				}
+			}
+			return out
+		},
+	}
+	in := df.Run()
+
+	var dBlock *Block
+	for _, b := range c.Blocks {
+		if m, ok := firstMark(b); ok && m == "d" {
+			dBlock = b
+		}
+	}
+	if dBlock == nil {
+		t.Fatal("mark d not found")
+	}
+	fact := in[dBlock.Index]
+	for _, want := range []string{"a", "b", "c"} {
+		if !fact[want] {
+			t.Errorf("fact at d missing %q (got %v)", want, fact)
+		}
+	}
+	if in[c.Exit.Index] == nil {
+		t.Errorf("exit block unreached by dataflow")
+	}
+}

@@ -32,20 +32,34 @@ func (s Scoped) Applies(importPath string) bool {
 // Scopes mirror the contracts, not the whole tree:
 //
 //   - determinism guards the deterministic result path: the tick
-//     simulator and its release queue, the conformance engine, the
-//     campaign engine, the workload generators and the distributed
-//     sweep service (whose merged output must be byte-identical to a
-//     local run). The campaign worker pool (pool.go) is the
-//     one blessed fan-out point; its collector serializes results back
-//     into spec order, which the byte-identical-across-workers tests
-//     verify at runtime. internal/dist itself spawns no goroutines —
-//     its concurrency lives in net/http and the blessed pool. The span
-//     tracer (internal/obs/span) is in scope because span *identity*
-//     must derive from stable keys; its single wall-clock read (span
-//     timestamps, presentation-only) carries an allow annotation.
+//     simulator and its release queue, the task model (whose validation
+//     and ceiling inputs seed every derived table), the conformance
+//     engine, the campaign engine, the workload generators and the
+//     distributed sweep service (whose merged output must be
+//     byte-identical to a local run). The campaign worker pool (pool.go)
+//     is the one blessed fan-out point; its collector serializes
+//     results back into spec order, which the byte-identical-across-
+//     workers tests verify at runtime. internal/dist itself spawns no
+//     goroutines — its concurrency lives in net/http and the blessed
+//     pool. The span tracer (internal/obs/span) is in scope because
+//     span *identity* must derive from stable keys; its single
+//     wall-clock read (span timestamps, presentation-only) carries an
+//     allow annotation.
 //   - lockdiscipline guards every package that holds a sync mutex near
 //     the substrate or its observers: shmem, pqueue, obs, server — and
 //     the dist coordinator, whose single mutex orders all job state.
+//   - allocbudget holds the //rtlint:hotpath functions of the simulator
+//     inner loop, the release queue and the priority queue to a
+//     zero-allocation budget; `rtvet -escapes` cross-checks the same
+//     annotations against the compiler's own escape analysis.
+//   - protocontract verifies every sim.Protocol implementation against
+//     the engine's behavioural contract (acquire on true, block on
+//     false, release on every Unlock exit, Grant/MakeReady pairing,
+//     OnFinish cleanup, no package state). internal/conformance is
+//     deliberately out of scope: its brokenProtocol is the runtime
+//     oracle's intentionally-violating fixture.
+//   - lockorder builds the interprocedural mutex acquisition graph over
+//     the same packages lockdiscipline guards and fails on cycles.
 //   - exhaustiveswitch is module-wide; the enums it protects (trace
 //     event kinds, protocol constants, job states) are switched on
 //     everywhere.
@@ -61,6 +75,7 @@ func DefaultSuite() []Scoped {
 			Prefixes: []string{
 				"mpcp/internal/sim",
 				"mpcp/internal/relq",
+				"mpcp/internal/task",
 				"mpcp/internal/conformance",
 				"mpcp/internal/campaign",
 				"mpcp/internal/workload",
@@ -76,6 +91,34 @@ func DefaultSuite() []Scoped {
 				"mpcp/internal/obs",
 				"mpcp/internal/server",
 				"mpcp/internal/dist",
+			},
+		},
+		{
+			Analyzer: AllocBudget,
+			Prefixes: []string{
+				"mpcp/internal/sim",
+				"mpcp/internal/relq",
+				"mpcp/internal/pqueue",
+			},
+		},
+		{
+			Analyzer: ProtoContract,
+			Prefixes: []string{
+				"mpcp/internal/proto",
+				"mpcp/internal/pcp",
+				"mpcp/internal/dpcp",
+				"mpcp/internal/hybrid",
+				"mpcp/internal/core",
+			},
+		},
+		{
+			Analyzer: LockOrder,
+			Prefixes: []string{
+				"mpcp/internal/shmem",
+				"mpcp/internal/pqueue",
+				"mpcp/internal/dist",
+				"mpcp/internal/obs",
+				"mpcp/internal/server",
 			},
 		},
 		{

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// CheckEscapes is the ground-truth side of the allocbudget contract:
+// where the AllocBudget analyzer over-approximates from syntax, this
+// check asks the compiler itself. It builds the packages matched by
+// patterns with -gcflags=-m and reports every "escapes to heap" /
+// "moved to heap" diagnostic that falls inside a //rtlint:hotpath
+// function, under the allocbudget analyzer name so the same
+// //rtlint:allow allocbudget suppressions cover both sides.
+//
+// The build is cached like any other: the compiler replays its
+// diagnostics from the build cache on unchanged packages, so repeat
+// runs are cheap. Binaries of main packages go to a throwaway
+// directory. Patterns are resolved by the go tool relative to dir.
+func CheckEscapes(dir string, patterns ...string) ([]Diagnostic, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hot-function line ranges per file, plus the suppression set.
+	type span struct {
+		start, end int
+		fn         string
+	}
+	ranges := map[string][]span{}
+	allow := allowSet{}
+	nhot := 0
+	for _, pkg := range pkgs {
+		collectSuppressions(allow, pkg, nil)
+		for _, decl := range hotpathFuncs(pkg) {
+			start := pkg.Fset.Position(decl.Pos())
+			end := pkg.Fset.Position(decl.End())
+			ranges[start.Filename] = append(ranges[start.Filename], span{start.Line, end.Line, decl.Name.Name})
+			nhot++
+		}
+	}
+	if nhot == 0 {
+		return nil, nil
+	}
+
+	tmp, err := os.MkdirTemp("", "rtvet-escapes-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	args := append([]string{"build", "-gcflags=-m", "-o", tmp}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil && strings.Contains(string(out), "no main packages to build") {
+		// Only library packages matched: nothing to write, drop -o.
+		cmd = exec.Command("go", append([]string{"build", "-gcflags=-m"}, patterns...)...)
+		cmd.Dir = dir
+		out, err = cmd.CombinedOutput()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m: %v\n%s", err, out)
+	}
+
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		colNo, _ := strconv.Atoi(m[3])
+		var fn string
+		for _, sp := range ranges[file] {
+			if lineNo >= sp.start && lineNo <= sp.end {
+				fn = sp.fn
+				break
+			}
+		}
+		if fn == "" {
+			continue
+		}
+		d := Diagnostic{
+			Pos:      token.Position{Filename: file, Line: lineNo, Column: colNo},
+			Analyzer: AllocBudget.Name,
+			Message:  fmt.Sprintf("escape analysis: %s inside //rtlint:hotpath %s", msg, fn),
+		}
+		if allow.covers(d) {
+			continue
+		}
+		// Generic instantiations replay the same diagnostic per shape;
+		// report each site once.
+		key := d.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		diags = append(diags, d)
+	}
+	return sortDiags(diags), nil
+}
+
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)

@@ -1,0 +1,59 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"mpcp/internal/lint"
+)
+
+// TestCheckEscapesFixture proves the -gcflags=-m cross-check catches
+// real escapes inside annotated functions: the allocbudget fixture's
+// hot functions leak values through the package sink on purpose.
+func TestCheckEscapesFixture(t *testing.T) {
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.CheckEscapes(root, "./internal/lint/testdata/src/allocbudget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected escape findings in the fixture's hot functions, got none")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "allocbudget" {
+			t.Errorf("finding under analyzer %q, want allocbudget: %s", d.Analyzer, d)
+		}
+		if !strings.Contains(d.Message, "escape analysis:") || !strings.Contains(d.Message, "//rtlint:hotpath") {
+			t.Errorf("message missing escape-analysis framing: %s", d)
+		}
+	}
+	// The suppressed hot function must not report even though its sink
+	// call escapes: hotSuppressed carries //rtlint:allow allocbudget.
+	for _, d := range diags {
+		if strings.Contains(d.Message, "hotSuppressed") {
+			t.Errorf("suppressed function still reported: %s", d)
+		}
+	}
+}
+
+// TestCheckEscapesHotPackages is the vet-alloc gate in miniature: the
+// annotated simulator/relq/pqueue hot paths must be escape-free.
+func TestCheckEscapesHotPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles three packages with -gcflags=-m")
+	}
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.CheckEscapes(root, "./internal/sim", "./internal/relq", "./internal/pqueue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("hot path escapes: %s", d)
+	}
+}

@@ -32,7 +32,10 @@ import (
 )
 
 // An Analyzer is one static check. Run inspects a single type-checked
-// package and reports findings through the Pass.
+// package and reports findings through the Pass; RunProgram, when set
+// instead, runs once over every package in scope (pass.Pkgs), which is
+// how the interprocedural analyzers (protocontract, lockorder) see
+// cross-package call and delegation edges.
 type Analyzer struct {
 	// Name is the identifier used in output and in //rtlint:allow
 	// suppression comments.
@@ -41,6 +44,9 @@ type Analyzer struct {
 	Doc string
 	// Run performs the check on pass.Pkg.
 	Run func(pass *Pass)
+	// RunProgram, when non-nil, takes precedence over Run and performs
+	// one whole-program check on pass.Pkgs (pass.Pkg is nil).
+	RunProgram func(pass *Pass)
 }
 
 // A Diagnostic is one finding.
@@ -56,10 +62,15 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// A Pass carries one analyzer's run over one package.
+// A Pass carries one analyzer's run over one package (per-package
+// analyzers, Pkg set) or over the whole scoped package set (program
+// analyzers, Pkg nil). Pkgs and Fset are always set; every package in
+// one Load call shares the one file set.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Pkgs     []*Package
+	Fset     *token.FileSet
 
 	diags []Diagnostic
 }
@@ -67,7 +78,7 @@ type Pass struct {
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{
-		Pos:      p.Pkg.Fset.Position(pos),
+		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -79,18 +90,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // anyway (the type info is partial); load-time errors are surfaced by
 // the loader, not here.
 func Run(pkgs []*Package, analyzers ...*Analyzer) []Diagnostic {
-	var out []Diagnostic
+	if len(pkgs) == 0 {
+		return nil
+	}
+	allow := allowSet{}
 	for _, pkg := range pkgs {
-		allow := suppressions(pkg)
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg}
-			a.Run(pass)
-			for _, d := range pass.diags {
-				if allow.covers(d) {
-					continue
-				}
+		collectSuppressions(allow, pkg, nil)
+	}
+	var out []Diagnostic
+	keep := func(pass *Pass) {
+		for _, d := range pass.diags {
+			if !allow.covers(d) {
 				out = append(out, d)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			pass := &Pass{Analyzer: a, Pkgs: pkgs, Fset: pkgs[0].Fset}
+			a.RunProgram(pass)
+			keep(pass)
+			continue
+		}
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Pkgs: pkgs, Fset: pkg.Fset}
+			a.Run(pass)
+			keep(pass)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -127,9 +152,37 @@ func (s allowSet) covers(d Diagnostic) bool {
 	return false
 }
 
-// suppressions collects every //rtlint:allow comment in the package.
-func suppressions(pkg *Package) allowSet {
-	set := allowSet{}
+// A Suppression is one //rtlint:allow comment, as surfaced by the
+// `rtvet -suppressions` audit: where it is, which analyzer it silences,
+// and the justification text after the analyzer name.
+type Suppression struct {
+	Pos           token.Position
+	Analyzer      string
+	Justification string
+}
+
+// Suppressions collects every //rtlint:allow comment across pkgs in
+// position order, for the audit mode. Comments with no analyzer name at
+// all are ignored here exactly as they are ignored by the filter.
+func Suppressions(pkgs []*Package) []Suppression {
+	var out []Suppression
+	for _, pkg := range pkgs {
+		collectSuppressions(nil, pkg, &out)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
+// collectSuppressions scans one package's //rtlint:allow comments into
+// the filter set (when set is non-nil) and/or the audit list (when list
+// is non-nil).
+func collectSuppressions(set allowSet, pkg *Package, list *[]Suppression) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -142,19 +195,27 @@ func suppressions(pkg *Package) allowSet {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				lines := set[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					set[pos.Filename] = lines
+				if set != nil {
+					lines := set[pos.Filename]
+					if lines == nil {
+						lines = map[int]map[string]bool{}
+						set[pos.Filename] = lines
+					}
+					if lines[pos.Line] == nil {
+						lines[pos.Line] = map[string]bool{}
+					}
+					lines[pos.Line][fields[0]] = true
 				}
-				if lines[pos.Line] == nil {
-					lines[pos.Line] = map[string]bool{}
+				if list != nil {
+					*list = append(*list, Suppression{
+						Pos:           pos,
+						Analyzer:      fields[0],
+						Justification: strings.TrimSpace(strings.Join(fields[1:], " ")),
+					})
 				}
-				lines[pos.Line][fields[0]] = true
 			}
 		}
 	}
-	return set
 }
 
 // inspectFuncs calls fn for every function or method declaration with a

@@ -16,12 +16,13 @@ import (
 // blocking under the queue lock is exactly the drift the RTEMS port
 // paper documents).
 //
-// The check is a conservative syntactic walk: branches are analyzed
-// with copies of the held-lock set, a release inside one branch does
-// not release for the code after the branch, and function literals are
-// analyzed as independent functions. When the analyzer cannot prove a
-// path safe it reports; intentional patterns carry an
-// //rtlint:allow lockdiscipline comment with justification.
+// The check runs a may-held dataflow over the shared CFG layer: the
+// fact at a program point is the set of mutexes some path to that point
+// acquired and did not release, so a lock taken in one branch is still
+// reported when a later merge point can return without the unlock.
+// Function literals are analyzed as independent functions. When the
+// analyzer cannot prove a path safe it reports; intentional patterns
+// carry an //rtlint:allow lockdiscipline comment with justification.
 var LockDiscipline = &Analyzer{
 	Name: "lockdiscipline",
 	Doc:  "requires unlock on every return path and forbids blocking while holding a sync mutex",
@@ -44,16 +45,21 @@ func init() {
 	}
 }
 
-// lockState tracks which mutexes are held at a program point. Keys are
-// the printed receiver expression plus the read/write flavor, e.g.
-// "r.mu" or "r.mu(R)".
-type lockState struct {
-	held     map[string]token.Pos // where the lock was taken
-	deferred map[string]bool      // released by a defer on function exit
+// lockFact is the dataflow fact: which mutexes may be held at a program
+// point. Keys are the printed receiver expression plus the read/write
+// flavor, e.g. "r.mu" or "r.mu(R)". A nil fact marks an unreachable
+// point.
+type lockFact struct {
+	held     map[string]token.Pos // where the lock was taken (min over paths)
+	deferred map[string]bool      // released by a defer on every path here
 }
 
-func (s *lockState) clone() *lockState {
-	c := &lockState{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+func newLockFact() *lockFact {
+	return &lockFact{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+}
+
+func (s *lockFact) clone() *lockFact {
+	c := newLockFact()
 	for k, v := range s.held {
 		c.held[k] = v
 	}
@@ -63,21 +69,9 @@ func (s *lockState) clone() *lockState {
 	return c
 }
 
-func runLockDiscipline(pass *Pass, body *ast.BlockStmt) {
-	st := &lockState{held: map[string]token.Pos{}, deferred: map[string]bool{}}
-	walkLockStmts(pass, body.List, st)
-	// A lock still held (and not defer-released) when the function falls
-	// off the end is as much a leak as an early return.
-	for _, key := range st.heldKeys() {
-		if !st.deferred[key] {
-			pass.Reportf(st.held[key], "%s is locked here but not released on the fall-through path; unlock before returning or use defer", key)
-		}
-	}
-}
-
 // heldKeys returns the held lock keys in sorted order so reports are
 // deterministic.
-func (s *lockState) heldKeys() []string {
+func (s *lockFact) heldKeys() []string {
 	keys := make([]string, 0, len(s.held))
 	for k := range s.held {
 		keys = append(keys, k)
@@ -86,16 +80,105 @@ func (s *lockState) heldKeys() []string {
 	return keys
 }
 
-func walkLockStmts(pass *Pass, stmts []ast.Stmt, st *lockState) {
-	for _, s := range stmts {
-		walkLockStmt(pass, s, st)
+func lockFactsEqual(a, b *lockFact) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.held) != len(b.held) || len(a.deferred) != len(b.deferred) {
+		return false
+	}
+	for k, v := range a.held {
+		if w, ok := b.held[k]; !ok || v != w {
+			return false
+		}
+	}
+	for k := range a.deferred {
+		if !b.deferred[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// joinLockFacts unions the may-held sets. A lock counts as
+// defer-released only when every reaching path registered the defer;
+// the earliest acquisition position wins so reports are stable.
+func joinLockFacts(dst, src *lockFact) *lockFact {
+	if src == nil {
+		return dst
+	}
+	if dst == nil {
+		return src.clone()
+	}
+	merged := newLockFact()
+	for k, v := range dst.held {
+		merged.held[k] = v
+	}
+	for k, v := range src.held {
+		if cur, ok := merged.held[k]; !ok || v < cur {
+			merged.held[k] = v
+		}
+	}
+	for k := range dst.deferred {
+		if src.deferred[k] {
+			merged.deferred[k] = true
+		}
+	}
+	return merged
+}
+
+func runLockDiscipline(pass *Pass, body *ast.BlockStmt) {
+	cfg := NewCFG(body)
+	df := Dataflow[*lockFact]{
+		CFG:    cfg,
+		Entry:  newLockFact(),
+		Bottom: func() *lockFact { return nil },
+		Join:   joinLockFacts,
+		Equal:  lockFactsEqual,
+		Transfer: func(blk *Block, in *lockFact) *lockFact {
+			st := in.clone()
+			for _, n := range blk.Nodes {
+				applyLockNode(pass, n, st, false)
+			}
+			return st
+		},
+	}
+	in := df.Run()
+
+	// Reporting sweep: one pass per live block, replaying the transfer
+	// with reporting enabled so each site is flagged exactly once.
+	for _, blk := range cfg.Blocks {
+		if !blk.Live || in[blk.Index] == nil {
+			continue
+		}
+		st := in[blk.Index].clone()
+		for _, n := range blk.Nodes {
+			applyLockNode(pass, n, st, true)
+		}
+		if blk == cfg.FallsOff {
+			// A lock still held (and not defer-released) when the
+			// function falls off the end is as much a leak as an early
+			// return.
+			for _, key := range st.heldKeys() {
+				if !st.deferred[key] {
+					pass.Reportf(st.held[key], "%s is locked here but not released on the fall-through path; unlock before returning or use defer", key)
+				}
+			}
+		}
 	}
 }
 
-func walkLockStmt(pass *Pass, s ast.Stmt, st *lockState) {
-	switch s := s.(type) {
+// applyLockNode advances the fact over one CFG node. The dataflow
+// fixpoint runs it silently (report false); the reporting sweep replays
+// it with report true so each site is flagged exactly once.
+func applyLockNode(pass *Pass, n ast.Node, st *lockFact, report bool) {
+	rp := pass
+	if !report {
+		rp = nil
+	}
+	switch n := n.(type) {
 	case *ast.ExprStmt:
-		if key, op, pos := mutexOp(pass, s.X); op != "" {
+		if key, op, pos := mutexOp(pass.Pkg.Info, n.X); op != "" {
 			switch op {
 			case "lock":
 				st.held[key] = pos
@@ -105,79 +188,38 @@ func walkLockStmt(pass *Pass, s ast.Stmt, st *lockState) {
 			}
 			return
 		}
-		reportBlockingExpr(pass, s.X, st)
+		reportBlockingExpr(rp, n.X, st)
 	case *ast.DeferStmt:
-		if key, op, _ := mutexOp(pass, s.Call); op == "unlock" {
+		if key, op, _ := mutexOp(pass.Pkg.Info, n.Call); op == "unlock" {
 			st.deferred[key] = true
-			return
 		}
 	case *ast.SendStmt:
-		reportBlocking(pass, s.Pos(), st, "channel send")
-		reportBlockingExpr(pass, s.Value, st)
+		reportBlocking(rp, n.Pos(), st, "channel send")
+		reportBlockingExpr(rp, n.Value, st)
 	case *ast.SelectStmt:
-		reportBlocking(pass, s.Pos(), st, "select")
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				walkLockStmts(pass, cc.Body, st.clone())
-			}
-		}
+		// Shallow marker node: the clause bodies are separate blocks.
+		reportBlocking(rp, n.Pos(), st, "select")
 	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			reportBlockingExpr(pass, e, st)
+		for _, e := range n.Results {
+			reportBlockingExpr(rp, e, st)
 		}
-		for _, key := range st.heldKeys() {
-			if !st.deferred[key] {
-				pass.Reportf(s.Pos(), "return while holding %s (locked at %s) without an unlock on this path", key, pass.Pkg.Fset.Position(st.held[key]))
+		if report {
+			for _, key := range st.heldKeys() {
+				if !st.deferred[key] {
+					pass.Reportf(n.Pos(), "return while holding %s (locked at %s) without an unlock on this path", key, pass.Pkg.Fset.Position(st.held[key]))
+				}
 			}
 		}
 		// Nothing runs after a return on this path.
 		st.held = map[string]token.Pos{}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			walkLockStmt(pass, s.Init, st)
-		}
-		reportBlockingExpr(pass, s.Cond, st)
-		walkLockStmts(pass, s.Body.List, st.clone())
-		switch e := s.Else.(type) {
-		case *ast.BlockStmt:
-			walkLockStmts(pass, e.List, st.clone())
-		case *ast.IfStmt:
-			walkLockStmt(pass, e, st.clone())
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			walkLockStmt(pass, s.Init, st)
-		}
-		walkLockStmts(pass, s.Body.List, st.clone())
-	case *ast.RangeStmt:
-		reportBlockingExpr(pass, s.X, st)
-		walkLockStmts(pass, s.Body.List, st.clone())
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			walkLockStmt(pass, s.Init, st)
-		}
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				walkLockStmts(pass, cc.Body, st.clone())
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				walkLockStmts(pass, cc.Body, st.clone())
-			}
-		}
-	case *ast.BlockStmt:
-		walkLockStmts(pass, s.List, st)
-	case *ast.LabeledStmt:
-		walkLockStmt(pass, s.Stmt, st)
 	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			reportBlockingExpr(pass, e, st)
+		for _, e := range n.Rhs {
+			reportBlockingExpr(rp, e, st)
 		}
-	case *ast.GoStmt:
-		// The spawned goroutine has its own stack; nothing to track here
-		// (its body is analyzed as a function literal).
+	case ast.Expr:
+		// Condition, tag, case or range expression of the control
+		// statement ending the block.
+		reportBlockingExpr(rp, n, st)
 	}
 }
 
@@ -185,7 +227,7 @@ func walkLockStmt(pass *Pass, s ast.Stmt, st *lockState) {
 // receiver key. Only methods actually declared by the sync package
 // count, so domain types with Lock/Unlock APIs (the simulator's
 // semaphore operations) are not confused for mutexes.
-func mutexOp(pass *Pass, e ast.Expr) (key, op string, pos token.Pos) {
+func mutexOp(info *types.Info, e ast.Expr) (key, op string, pos token.Pos) {
 	call, ok := e.(*ast.CallExpr)
 	if !ok {
 		return "", "", token.NoPos
@@ -194,7 +236,7 @@ func mutexOp(pass *Pass, e ast.Expr) (key, op string, pos token.Pos) {
 	if !ok {
 		return "", "", token.NoPos
 	}
-	fn, _ := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
 	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
 		return "", "", token.NoPos
 	}
@@ -215,8 +257,8 @@ func mutexOp(pass *Pass, e ast.Expr) (key, op string, pos token.Pos) {
 // reportBlockingExpr flags blocking operations buried in an expression:
 // channel receives, time.Sleep, and Wait calls (sync.WaitGroup.Wait,
 // sync.Cond.Wait, exec.Cmd.Wait — anything that parks the goroutine).
-func reportBlockingExpr(pass *Pass, e ast.Expr, st *lockState) {
-	if e == nil || len(st.held) == 0 {
+func reportBlockingExpr(pass *Pass, e ast.Expr, st *lockFact) {
+	if pass == nil || e == nil || len(st.held) == 0 {
 		return
 	}
 	ast.Inspect(e, func(n ast.Node) bool {
@@ -240,7 +282,10 @@ func reportBlockingExpr(pass *Pass, e ast.Expr, st *lockState) {
 	})
 }
 
-func reportBlocking(pass *Pass, pos token.Pos, st *lockState, what string) {
+func reportBlocking(pass *Pass, pos token.Pos, st *lockFact, what string) {
+	if pass == nil {
+		return
+	}
 	if keys := st.heldKeys(); len(keys) > 0 {
 		// One report per site is enough; name the first held lock.
 		pass.Reportf(pos, "%s while holding %s: blocking under a mutex stalls every other waiter and can deadlock the wakeup path", what, keys[0])

@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the interprocedural lock-acquisition graph of the
+// scoped packages and fails on cycles. A node is a lock class — a
+// sync.Mutex / sync.RWMutex identified by its declaring struct type and
+// field (or package-level variable) — and an edge A -> B is recorded
+// whenever some function acquires B while holding A, either directly or
+// by calling (transitively) a function that may acquire B. Two
+// functions that take the same pair of locks in opposite orders can
+// deadlock under the right interleaving even though each function is
+// individually correct under lockdiscipline; the cycle in the class
+// graph is the static witness.
+//
+// The class abstraction is per-field, not per-instance: two distinct
+// values of the same struct type share a class, so self-edges are
+// reported too (locking a class while holding it is a self-deadlock
+// with sync's non-reentrant mutexes, and a genuine order hazard across
+// instances). Function literals are separate execution contexts and are
+// analyzed independently; deferred unlocks keep the lock held for the
+// rest of the body, exactly as at run time.
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "fails on cycles in the interprocedural mutex acquisition-order graph",
+	RunProgram: runLockOrder,
+}
+
+type lockOrderProg struct {
+	pass       *Pass
+	funcs      map[string]*srcFunc
+	acq        map[string]map[string]bool // funcKey -> class ids it may acquire
+	inProgress map[string]bool
+	names      map[string]string // class id -> display name
+	edges      map[string]map[string]*orderEdge
+}
+
+// orderEdge is the first-seen witness for "B acquired while holding A".
+type orderEdge struct {
+	pos     token.Pos
+	viaCall string // callee name when the acquisition happens inside a call
+}
+
+func runLockOrder(pass *Pass) {
+	lo := &lockOrderProg{
+		pass:       pass,
+		funcs:      map[string]*srcFunc{},
+		acq:        map[string]map[string]bool{},
+		inProgress: map[string]bool{},
+		names:      map[string]string{},
+		edges:      map[string]map[string]*orderEdge{},
+	}
+	for _, pkg := range pass.Pkgs {
+		inspectFuncs(pkg, func(decl *ast.FuncDecl) {
+			if fn, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+				lo.funcs[funcKey(fn)] = &srcFunc{pkg: pkg, decl: decl}
+			}
+		})
+	}
+	for _, pkg := range pass.Pkgs {
+		inspectFuncs(pkg, func(decl *ast.FuncDecl) {
+			lo.analyzeBody(pkg, decl.Body)
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					lo.analyzeBody(pkg, lit.Body)
+				}
+				return true
+			})
+		})
+	}
+	lo.reportCycles()
+}
+
+// lockClass identifies the mutex behind the receiver expression of a
+// sync Lock/Unlock call. The id is globally unique; the display name is
+// what reports print.
+func lockClass(pkg *Package, e ast.Expr) (id, display string) {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[x]; ok {
+			recv := sel.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				obj := named.Obj()
+				display = obj.Name() + "." + x.Sel.Name
+				if obj.Pkg() != nil {
+					return obj.Pkg().Path() + "." + display, display
+				}
+				return display, display
+			}
+		}
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+			display = x.Sel.Name
+			return v.Pkg().Path() + "." + display, display
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name(), v.Name()
+		}
+	}
+	// Function-local or otherwise unnamed mutex: unique per package and
+	// printed expression. Cross-function cycles cannot involve it by
+	// name, but within one body the ordering still holds.
+	display = types.ExprString(e)
+	return pkg.ImportPath + ":" + display, display
+}
+
+// lockOrderOp classifies e as a sync lock or unlock call with its class.
+func lockOrderOp(pkg *Package, call *ast.CallExpr) (id, display, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", "", ""
+	}
+	id, display = lockClass(pkg, sel.X)
+	return id, display, op
+}
+
+// mayAcquire is the memoized transitive may-acquire summary of fn.
+func (lo *lockOrderProg) mayAcquire(key string) map[string]bool {
+	if s, ok := lo.acq[key]; ok {
+		return s
+	}
+	if lo.inProgress[key] {
+		return nil
+	}
+	sf := lo.funcs[key]
+	if sf == nil {
+		return nil
+	}
+	lo.inProgress[key] = true
+	defer delete(lo.inProgress, key)
+	out := map[string]bool{}
+	inspectNode(sf.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, display, op := lockOrderOp(sf.pkg, call); op == "lock" {
+			out[id] = true
+			lo.names[id] = display
+		} else if op == "" {
+			if callee := calleeFunc(sf.pkg.Info, call); callee != nil {
+				for id := range lo.mayAcquire(funcKey(callee)) {
+					out[id] = true
+				}
+			}
+		}
+		return true
+	})
+	lo.acq[key] = out
+	return out
+}
+
+func (lo *lockOrderProg) addEdge(from, to string, pos token.Pos, viaCall string) {
+	m := lo.edges[from]
+	if m == nil {
+		m = map[string]*orderEdge{}
+		lo.edges[from] = m
+	}
+	if cur, ok := m[to]; !ok || pos < cur.pos {
+		m[to] = &orderEdge{pos: pos, viaCall: viaCall}
+	}
+}
+
+// heldFact maps held class ids to acquisition position.
+type heldFact map[string]token.Pos
+
+func joinHeldFacts(dst, src heldFact) heldFact {
+	if src == nil {
+		return dst
+	}
+	if dst == nil {
+		dst = heldFact{}
+		for k, v := range src {
+			dst[k] = v
+		}
+		return dst
+	}
+	merged := heldFact{}
+	for k, v := range dst {
+		merged[k] = v
+	}
+	for k, v := range src {
+		if cur, ok := merged[k]; !ok || v < cur {
+			merged[k] = v
+		}
+	}
+	return merged
+}
+
+func heldFactsEqual(a, b heldFact) bool {
+	if a == nil || b == nil {
+		return (a == nil) == (b == nil)
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// analyzeBody runs the held-set dataflow over one body and records
+// acquisition-order edges. Edge recording is idempotent (min position
+// wins), so it happens directly inside the fixpoint transfer.
+func (lo *lockOrderProg) analyzeBody(pkg *Package, body *ast.BlockStmt) {
+	cfg := NewCFG(body)
+	apply := func(n ast.Node, held heldFact) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			// Deferred unlocks keep the lock held for the rest of the
+			// body; deferred anything-else runs after it too.
+			return
+		}
+		inspectNode(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, display, op := lockOrderOp(pkg, call)
+			switch op {
+			case "lock":
+				lo.names[id] = display
+				for heldID := range held {
+					lo.addEdge(heldID, id, call.Pos(), "")
+				}
+				held[id] = call.Pos()
+			case "unlock":
+				delete(held, id)
+			default:
+				if len(held) == 0 {
+					return true
+				}
+				if callee := calleeFunc(pkg.Info, call); callee != nil {
+					name := callee.Name()
+					for acqID := range lo.mayAcquire(funcKey(callee)) {
+						for heldID := range held {
+							lo.addEdge(heldID, acqID, call.Pos(), name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	df := Dataflow[heldFact]{
+		CFG:    cfg,
+		Entry:  heldFact{},
+		Bottom: func() heldFact { return nil },
+		Join:   joinHeldFacts,
+		Equal:  heldFactsEqual,
+		Transfer: func(blk *Block, in heldFact) heldFact {
+			st := heldFact{}
+			for k, v := range in {
+				st[k] = v
+			}
+			for _, n := range blk.Nodes {
+				apply(n, st)
+			}
+			return st
+		},
+	}
+	df.Run()
+}
+
+// reportCycles flags every edge that lies on a cycle, with the shortest
+// closing path as the witness.
+func (lo *lockOrderProg) reportCycles() {
+	froms := make([]string, 0, len(lo.edges))
+	for from := range lo.edges {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+	for _, from := range froms {
+		tos := make([]string, 0, len(lo.edges[from]))
+		for to := range lo.edges[from] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			path := lo.shortestPath(to, from)
+			if path == nil {
+				continue
+			}
+			edge := lo.edges[from][to]
+			// path runs to -> ... -> from, so prefixing the edge source
+			// closes the cycle: from -> to -> ... -> from.
+			cycle := make([]string, 0, len(path)+1)
+			cycle = append(cycle, lo.names[from])
+			for _, id := range path {
+				cycle = append(cycle, lo.names[id])
+			}
+			witness := strings.Join(cycle, " -> ")
+			if edge.viaCall != "" {
+				lo.pass.Reportf(edge.pos, "call to %s may acquire %s while holding %s, closing a lock-order cycle (%s); acquire mutexes in one global order",
+					edge.viaCall, lo.names[to], lo.names[from], witness)
+			} else {
+				lo.pass.Reportf(edge.pos, "acquiring %s while holding %s closes a lock-order cycle (%s); acquire mutexes in one global order",
+					lo.names[to], lo.names[from], witness)
+			}
+		}
+	}
+}
+
+// shortestPath returns the node sequence from -> ... -> to (inclusive of
+// both) along recorded edges, or nil when unreachable. BFS over sorted
+// neighbors keeps the witness deterministic.
+func (lo *lockOrderProg) shortestPath(from, to string) []string {
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == to {
+			var path []string
+			for n := to; ; n = prev[n] {
+				path = append(path, n)
+				if n == from && len(path) > 0 && prev[n] == n {
+					break
+				}
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path
+		}
+		next := make([]string, 0, len(lo.edges[cur]))
+		for n := range lo.edges[cur] {
+			next = append(next, n)
+		}
+		sort.Strings(next)
+		for _, n := range next {
+			if _, seen := prev[n]; !seen {
+				prev[n] = cur
+				queue = append(queue, n)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mpcp/internal/lint"
+	"mpcp/internal/lint/linttest"
+)
+
+func TestLockOrderFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/lockorder", lint.LockOrder)
+}

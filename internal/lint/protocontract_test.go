@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mpcp/internal/lint"
+	"mpcp/internal/lint/linttest"
+)
+
+func TestProtoContractFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/protocontract", lint.ProtoContract)
+}

@@ -61,6 +61,9 @@ func TestDefaultSuiteShape(t *testing.T) {
 	want := map[string]bool{
 		"determinism":      true,
 		"lockdiscipline":   true,
+		"allocbudget":      true,
+		"protocontract":    true,
+		"lockorder":        true,
 		"exhaustiveswitch": true,
 		"floatcompare":     true,
 		"jsonstable":       true,

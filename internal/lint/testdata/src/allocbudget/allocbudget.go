@@ -1,0 +1,71 @@
+// Package allocbudget is the AllocBudget fixture: the annotated
+// functions demonstrate every flagged construct (positive), the clean
+// forms the analyzer must accept (negative), and a justified
+// suppression. Unannotated functions may allocate freely.
+package allocbudget
+
+type item struct{ k, v int }
+
+// sunk keeps values observably live so nothing folds away.
+var sunk any
+
+func sinkAny(v any) { sunk = v }
+
+func sinkVariadic(kind string, vs ...any) { sunk = kind }
+
+//rtlint:hotpath
+func hotViolations(xs []int, i int) []int {
+	m := make(map[int]int) // want `hot path allocates: make`
+	_ = m
+	p := new(int) // want `hot path allocates: new`
+	_ = p
+	xs = append(xs, 1) // want `hot path allocates: append may grow`
+	lit := []int{1, 2} // want `hot path allocates: slice literal`
+	_ = lit
+	mp := map[int]int{1: 2} // want `hot path allocates: map literal`
+	_ = mp
+	pt := &item{1, 2} // want `hot path allocates: &-composite literal`
+	_ = pt
+	f := func() int { return 0 } // want `hot path allocates: closure`
+	_ = f
+	return xs
+}
+
+//rtlint:hotpath
+func hotBoxing(i int, s string) any {
+	var a any = i // want `int assigned to interface any boxes`
+	_ = a
+	a = s // want `string assigned to interface any boxes`
+	_ = a
+	sinkAny(i)           // want `int passed as interface any boxes`
+	sinkVariadic("k", i) // want `int passed as interface any boxes`
+	_ = any(s)           // want `string converted to interface any boxes`
+	return i             // want `int returned as interface any boxes`
+}
+
+//rtlint:hotpath
+func hotClean(xs []int, i int, pj *item) []int {
+	// The shrinking removal idiom never exceeds the existing capacity.
+	xs = append(xs[:i], xs[i+1:]...)
+	// A plain struct value literal stays on the stack.
+	v := item{k: 1, v: 2}
+	_ = v
+	// Pointer-shaped values are stored directly in the interface word.
+	var a any = pj
+	_ = a
+	sinkAny(pj)
+	return xs
+}
+
+//rtlint:hotpath
+func hotSuppressed(i int) {
+	//rtlint:allow allocbudget fixture: cold diagnostics path, runs once per failed run
+	sinkAny(i)
+}
+
+// coldAllocates is unannotated: the budget does not apply.
+func coldAllocates() *item {
+	xs := []int{1, 2, 3}
+	_ = xs
+	return &item{}
+}

@@ -1,0 +1,90 @@
+// Package lockorder is the LockOrder fixture: pair closes the classic
+// AB/BA deadlock cycle directly, callPair closes one through a call,
+// nested is a clean one-way ordering, and excused carries the
+// justified-suppression case.
+package lockorder
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want `acquiring pair\.b while holding pair\.a closes a lock-order cycle \(pair\.a -> pair\.b -> pair\.a\)`
+	p.b.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock() // want `acquiring pair\.a while holding pair\.b closes a lock-order cycle \(pair\.b -> pair\.a -> pair\.b\)`
+	p.a.Unlock()
+}
+
+type callPair struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (c *callPair) lockY() {
+	c.y.Lock()
+	c.y.Unlock()
+}
+
+func (c *callPair) xThenY() {
+	c.x.Lock()
+	defer c.x.Unlock()
+	c.lockY() // want `call to lockY may acquire callPair\.y while holding callPair\.x, closing a lock-order cycle`
+}
+
+func (c *callPair) yThenX() {
+	c.y.Lock()
+	defer c.y.Unlock()
+	c.x.Lock() // want `acquiring callPair\.x while holding callPair\.y closes a lock-order cycle`
+	c.x.Unlock()
+}
+
+// nested acquires its two mutexes in one order everywhere: no cycle.
+type nested struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+func (n *nested) lockBoth() {
+	n.outer.Lock()
+	defer n.outer.Unlock()
+	n.inner.Lock()
+	n.inner.Unlock()
+}
+
+func (n *nested) lockOuterOnly() {
+	n.outer.Lock()
+	n.outer.Unlock()
+}
+
+// excused inverts its order in one place on purpose; both edges of the
+// cycle carry a justified suppression.
+type excused struct {
+	m sync.Mutex
+	n sync.Mutex
+}
+
+func (e *excused) mn() {
+	e.m.Lock()
+	defer e.m.Unlock()
+	//rtlint:allow lockorder fixture: the n critical section is try-only and cannot block here
+	e.n.Lock()
+	e.n.Unlock()
+}
+
+func (e *excused) nm() {
+	e.n.Lock()
+	defer e.n.Unlock()
+	//rtlint:allow lockorder fixture: paired suppression of the reverse edge
+	e.m.Lock()
+	e.m.Unlock()
+}

@@ -1,0 +1,22 @@
+// Package suppressions is the fixture for the `rtvet -suppressions`
+// audit: one justified //rtlint:allow and one that names an analyzer
+// but offers no reason, which the audit must fail on.
+package suppressions
+
+func justified() float64 {
+	a, b := 0.1, 0.2
+	//rtlint:allow floatcompare fixture: comparing against a sentinel the same code assigned
+	if a == b {
+		return a
+	}
+	return b
+}
+
+func unjustified() float64 {
+	a, b := 0.1, 0.2
+	//rtlint:allow floatcompare
+	if a == b {
+		return a
+	}
+	return b
+}

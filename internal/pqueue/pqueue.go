@@ -27,6 +27,8 @@ type Queue[T any] struct {
 }
 
 // Len reports the number of queued items.
+//
+//rtlint:hotpath
 func (q *Queue[T]) Len() int { return len(q.h) }
 
 // Push inserts value with the given priority and returns the item handle,
@@ -41,6 +43,8 @@ func (q *Queue[T]) Push(value T, priority int) *Item[T] {
 // Pop removes and returns the highest-priority item. Among items with equal
 // priority the earliest-pushed one is returned. ok is false when the queue
 // is empty.
+//
+//rtlint:hotpath
 func (q *Queue[T]) Pop() (value T, ok bool) {
 	if len(q.h) == 0 {
 		var zero T
@@ -57,6 +61,8 @@ func (q *Queue[T]) Pop() (value T, ok bool) {
 
 // Peek returns the highest-priority item without removing it. ok is false
 // when the queue is empty.
+//
+//rtlint:hotpath
 func (q *Queue[T]) Peek() (value T, ok bool) {
 	if len(q.h) == 0 {
 		var zero T
@@ -67,6 +73,8 @@ func (q *Queue[T]) Peek() (value T, ok bool) {
 
 // PeekPriority returns the priority of the head item. ok is false when the
 // queue is empty.
+//
+//rtlint:hotpath
 func (q *Queue[T]) PeekPriority() (priority int, ok bool) {
 	if len(q.h) == 0 {
 		return 0, false
@@ -76,6 +84,8 @@ func (q *Queue[T]) PeekPriority() (priority int, ok bool) {
 
 // Remove deletes it from the queue. Removing an item that has already been
 // popped or removed is a no-op.
+//
+//rtlint:hotpath
 func (q *Queue[T]) Remove(it *Item[T]) {
 	if it == nil || it.index < 0 || it.index >= len(q.h) || q.h[it.index] != it {
 		return
@@ -87,6 +97,8 @@ func (q *Queue[T]) Remove(it *Item[T]) {
 // Update changes the priority of a queued item in place. The item keeps its
 // original insertion order for tie-breaking. Updating a removed item is a
 // no-op.
+//
+//rtlint:hotpath
 func (q *Queue[T]) Update(it *Item[T], priority int) {
 	if it == nil || it.index < 0 || it.index >= len(q.h) || q.h[it.index] != it {
 		return
@@ -107,8 +119,10 @@ func (q *Queue[T]) Items() []T {
 
 type itemHeap[T any] []*Item[T]
 
+//rtlint:hotpath
 func (h itemHeap[T]) Len() int { return len(h) }
 
+//rtlint:hotpath
 func (h itemHeap[T]) Less(i, j int) bool {
 	if h[i].Priority != h[j].Priority {
 		return h[i].Priority > h[j].Priority // max-heap
@@ -116,6 +130,7 @@ func (h itemHeap[T]) Less(i, j int) bool {
 	return h[i].seq < h[j].seq // FCFS among equal priorities
 }
 
+//rtlint:hotpath
 func (h itemHeap[T]) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
@@ -131,6 +146,7 @@ func (h *itemHeap[T]) Push(x any) {
 	*h = append(*h, it)
 }
 
+//rtlint:hotpath
 func (h *itemHeap[T]) Pop() any {
 	old := *h
 	n := len(old)

@@ -168,8 +168,11 @@ func (p *Inherit) Unlock(e *sim.Engine, j *sim.Job, s task.SemID) {
 	p.recompute(e)
 }
 
-// OnFinish implements sim.Protocol.
+// OnFinish implements sim.Protocol. The engine also routes
+// overload-aborted jobs here, so the waiting record must be dropped: an
+// aborted waiter never reaches the Unlock that would have cleared it.
 func (p *Inherit) OnFinish(e *sim.Engine, j *sim.Job) {
+	delete(p.waitingOn, j)
 	p.recompute(e)
 }
 

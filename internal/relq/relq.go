@@ -24,6 +24,8 @@ type Entry struct {
 }
 
 // less orders entries lexicographically by (Time, Idx).
+//
+//rtlint:hotpath
 func less(a, b Entry) bool {
 	if a.Time != b.Time {
 		return a.Time < b.Time
@@ -39,15 +41,22 @@ type Queue struct {
 }
 
 // Len returns the number of queued entries.
+//
+//rtlint:hotpath
 func (q *Queue) Len() int { return len(q.h) }
 
 // Push schedules an entry.
+//
+//rtlint:hotpath
 func (q *Queue) Push(e Entry) {
+	//rtlint:allow allocbudget heap capacity reaches its steady state within one hyperperiod and is reused
 	q.h = append(q.h, e)
 	q.up(len(q.h) - 1)
 }
 
 // Peek returns the earliest entry without removing it.
+//
+//rtlint:hotpath
 func (q *Queue) Peek() (Entry, bool) {
 	if len(q.h) == 0 {
 		return Entry{}, false
@@ -57,6 +66,8 @@ func (q *Queue) Peek() (Entry, bool) {
 
 // NextTime returns the earliest scheduled time, or ok=false when empty.
 // The fast path uses it to bound a jump without popping.
+//
+//rtlint:hotpath
 func (q *Queue) NextTime() (int, bool) {
 	if len(q.h) == 0 {
 		return 0, false
@@ -65,6 +76,8 @@ func (q *Queue) NextTime() (int, bool) {
 }
 
 // Pop removes and returns the earliest entry.
+//
+//rtlint:hotpath
 func (q *Queue) Pop() (Entry, bool) {
 	if len(q.h) == 0 {
 		return Entry{}, false
@@ -79,6 +92,7 @@ func (q *Queue) Pop() (Entry, bool) {
 	return top, true
 }
 
+//rtlint:hotpath
 func (q *Queue) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -90,6 +104,7 @@ func (q *Queue) up(i int) {
 	}
 }
 
+//rtlint:hotpath
 func (q *Queue) down(i int) {
 	n := len(q.h)
 	for {

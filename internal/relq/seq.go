@@ -13,6 +13,8 @@ type Source struct {
 
 // NewSource returns a draw source keyed by seed. Any seed (including 0)
 // is valid; equal seeds yield equal sequences.
+//
+//rtlint:hotpath
 func NewSource(seed int64) Source {
 	return Source{seed: uint64(seed)}
 }
@@ -20,6 +22,8 @@ func NewSource(seed int64) Source {
 // mix hashes the seed with the (task, instance, stream) coordinates using
 // two rounds of splitmix64-style finalization. stream separates the gap
 // draw from the jitter draw of the same instance.
+//
+//rtlint:hotpath
 func (s Source) mix(taskIdx, k, stream int) uint64 {
 	x := s.seed
 	x += 0x9e3779b97f4a7c15 * (uint64(taskIdx) + 1)
@@ -39,6 +43,8 @@ func (s Source) mix(taskIdx, k, stream int) uint64 {
 // uniform over [min, min+span]. span == 0 short-circuits to min without
 // drawing, so periodic tasks (and sporadic tasks at minimum == period)
 // never consume randomness and degenerate to the fixed calendar exactly.
+//
+//rtlint:hotpath
 func (s Source) Gap(taskIdx, k, min, span int) int {
 	if span <= 0 {
 		return min
@@ -48,6 +54,8 @@ func (s Source) Gap(taskIdx, k, min, span int) int {
 
 // Jit returns the release jitter of instance k of task taskIdx: uniform
 // over [0, max]. max == 0 short-circuits to 0 without drawing.
+//
+//rtlint:hotpath
 func (s Source) Jit(taskIdx, k, max int) int {
 	if max <= 0 {
 		return 0

@@ -274,6 +274,8 @@ func New(sys *task.System, proto Protocol, cfg Config) (*Engine, error) {
 // configured sink, latching the first sink error (which aborts the run at
 // the next Step boundary — a trace with silent holes is worse than a
 // failed run).
+//
+//rtlint:hotpath
 func (e *Engine) emit(ev trace.Event) {
 	e.log.Add(ev)
 	if e.sink != nil && e.sinkErr == nil {
@@ -284,6 +286,8 @@ func (e *Engine) emit(ev trace.Event) {
 }
 
 // emitExec is emit for execution ticks.
+//
+//rtlint:hotpath
 func (e *Engine) emitExec(x trace.Exec) {
 	e.log.AddExec(x)
 	if e.sink != nil && e.sinkErr == nil {
@@ -321,6 +325,8 @@ func (e *Engine) Run() (*Result, error) {
 // has completed (horizon reached, stop-on-miss triggered, or deadlock
 // detected). Interleaving Step with Result() supports interactive and
 // incremental tooling; after done the engine must not be stepped again.
+//
+//rtlint:hotpath
 func (e *Engine) Step() (done bool, err error) {
 	if e.finished {
 		return true, e.err
@@ -478,6 +484,7 @@ func (e *Engine) SpawnAgent(parent *Job, body []task.Segment, proc task.ProcID, 
 	return j
 }
 
+//rtlint:hotpath
 func (e *Engine) nextSeq() uint64 {
 	e.seq++
 	return e.seq
@@ -487,12 +494,15 @@ func (e *Engine) nextSeq() uint64 {
 // processors until no further progress is possible without consuming
 // time. It leaves every processor either idle or with its chosen job
 // positioned at a compute segment (or spinning).
+//
+//rtlint:hotpath
 func (e *Engine) settle() {
 	// Generous bound: every iteration either advances a PC past an
 	// instantaneous segment, blocks a job, or finishes a job.
 	limit := 4 * (e.totalSegments() + len(e.active) + 8)
 	for iter := 0; ; iter++ {
 		if iter > limit {
+			//rtlint:allow allocbudget cold failure path: the run is already aborting
 			e.err = fmt.Errorf("sim: settle did not converge at t=%d (protocol bug?)", e.now)
 			return
 		}
@@ -525,6 +535,8 @@ func (e *Engine) totalSegments() int {
 
 // advanceInstant processes j's instantaneous segment prefix. It returns
 // true if any state changed (PC advanced, job blocked, or job finished).
+//
+//rtlint:hotpath
 func (e *Engine) advanceInstant(j *Job) bool {
 	changed := false
 	for j.State == StateReady {
@@ -552,7 +564,7 @@ func (e *Engine) advanceInstant(j *Job) bool {
 				// lock (CompleteLock advances the PC). Fail loudly
 				// instead of spinning forever.
 				e.err = fmt.Errorf("sim: protocol %q granted semaphore %d to %v without completing the lock at t=%d",
-					e.proto.Name(), seg.Sem, j, e.now)
+					e.proto.Name(), seg.Sem, j, e.now) //rtlint:allow allocbudget cold failure path: the run is already aborting
 				return false
 			}
 			changed = true
@@ -573,6 +585,8 @@ func (e *Engine) advanceInstant(j *Job) bool {
 }
 
 // loadSegment refreshes SegLeft after PC moves.
+//
+//rtlint:hotpath
 func (e *Engine) loadSegment(j *Job) {
 	if j.PC < len(j.Body) && j.Body[j.PC].Kind == task.SegCompute {
 		j.SegLeft = j.Body[j.PC].Duration
@@ -599,6 +613,8 @@ func (e *Engine) CompleteLock(j *Job, s task.SemID) {
 }
 
 // exitCS updates nesting bookkeeping when j executes V(s).
+//
+//rtlint:hotpath
 func (e *Engine) exitCS(j *Job, s task.SemID) {
 	for i := len(j.Held) - 1; i >= 0; i-- {
 		if j.Held[i] == s {
@@ -615,6 +631,7 @@ func (e *Engine) exitCS(j *Job, s task.SemID) {
 	e.emit(trace.Event{Time: e.now, Kind: trace.EvUnlock, Task: j.StatsTask(), Job: j.Index, Proc: j.Proc, Sem: s})
 }
 
+//rtlint:hotpath
 func (e *Engine) finish(j *Job) {
 	j.State = StateFinished
 	j.FinishTime = e.now
@@ -651,6 +668,7 @@ func (e *Engine) finish(j *Job) {
 	e.proto.OnFinish(e, j)
 }
 
+//rtlint:hotpath
 func (e *Engine) removeActive(j *Job) {
 	for i, a := range e.active {
 		if a == j {
@@ -663,6 +681,8 @@ func (e *Engine) removeActive(j *Job) {
 // pickRunnable returns the job that should occupy processor p this tick:
 // the ready or spinning job with the highest effective priority, FCFS
 // among equals.
+//
+//rtlint:hotpath
 func (e *Engine) pickRunnable(p task.ProcID) *Job {
 	var best *Job
 	for _, j := range e.active {
@@ -682,6 +702,8 @@ func (e *Engine) pickRunnable(p task.ProcID) *Job {
 
 // dispatchAndAdvance chooses the running job on each processor, records
 // execution, and advances compute segments by one tick.
+//
+//rtlint:hotpath
 func (e *Engine) dispatchAndAdvance() {
 	for p := 0; p < e.sys.NumProcs; p++ {
 		proc := task.ProcID(p)
@@ -729,6 +751,8 @@ func (e *Engine) dispatchAndAdvance() {
 
 // accountWaiting charges this tick to the waiting statistics of every
 // non-running active job.
+//
+//rtlint:hotpath
 func (e *Engine) accountWaiting() {
 	for _, j := range e.active {
 		if j.IsAgent() {
@@ -828,6 +852,7 @@ func (e *Engine) abortJob(j *Job) {
 	e.proto.OnFinish(e, j)
 }
 
+//rtlint:hotpath
 func (e *Engine) checkDeadlines() {
 	t := e.now + 1
 	for _, j := range e.active {
@@ -847,6 +872,8 @@ func (e *Engine) checkDeadlines() {
 // blocked or suspended jobs remain: unlocks can only come from executing
 // jobs, so such a state can never make progress (new releases cannot free
 // held semaphores either).
+//
+//rtlint:hotpath
 func (e *Engine) detectDeadlock() bool {
 	for _, r := range e.procs {
 		if r != nil {

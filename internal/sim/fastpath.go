@@ -52,6 +52,8 @@ import (
 // ticks in bulk. It is called from Step after the tick at now-1 fully
 // completed and only when the run continues (no stop, no sink error,
 // now < horizon).
+//
+//rtlint:hotpath
 func (e *Engine) coast() {
 	nb := e.nextBoundary()
 	q := nb - e.now
@@ -65,6 +67,8 @@ func (e *Engine) coast() {
 
 // nextBoundary returns the earliest tick >= now at which the simulation
 // state can change. Returning now means no coasting is possible.
+//
+//rtlint:hotpath
 func (e *Engine) nextBoundary() int {
 	nb := e.cfg.Horizon
 	if t, ok := e.releases.NextTime(); ok && t < nb {
@@ -101,6 +105,8 @@ func (e *Engine) nextBoundary() int {
 // mid-span; the reference stepper likewise completes the erroring tick
 // before aborting). The order of operations mirrors dispatchAndAdvance
 // and accountWaiting exactly.
+//
+//rtlint:hotpath
 func (e *Engine) fastForward(q int) int {
 	// Exec records, tick-major then processor-ascending, matching the
 	// per-tick reference interleaving. Skippable only when nobody is
