@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short bench bench-json bench-sim bench-sweep bench-obs repro repro-verify sweep sweep-smoke sweepd-smoke obs-smoke metrics-demo check check-smoke fuzz vet rtvet vet-alloc fmt lint cover clean
+.PHONY: all build test test-short bench bench-json bench-sim bench-sweep bench-obs repro repro-verify sweep sweep-smoke sweep-spinvssuspend sweepd-smoke obs-smoke metrics-demo check check-smoke fuzz vet rtvet vet-alloc fmt lint cover clean
 
 all: build test
 
@@ -34,6 +34,12 @@ sweep:
 # Tiny 2-point campaign as a fast gate (CI runs the same spec).
 sweep-smoke:
 	$(GO) run ./cmd/rtsweep -spec cmd/rtsweep/testdata/smoke.json -quiet
+
+# Spin vs suspend: suspension-based MPCP against the MSRP and FMLP+
+# spin-lock protocols on one grid (docs/protocols.md; results table in
+# EXPERIMENTS.md). Resumable like every campaign.
+sweep-spinvssuspend:
+	$(GO) run ./cmd/rtsweep -spec sweeps/spin-vs-suspend.json -out sweeps/spin-vs-suspend.jsonl -resume
 
 # Distributed-sweep gate (CI runs this): a real rtsweepd coordinator
 # plus two worker loops over loopback HTTP under the race detector,

@@ -43,7 +43,7 @@ func run(args []string, out, errw io.Writer) int {
 	fs.SetOutput(errw)
 	var (
 		protocols = fs.String("protocols", strings.Join(conformance.DefaultProtocols, ","),
-			"comma-separated protocols to check (also: mpcp-spin, mpcp-fifo, mpcp-ceil, hybrid, pcp-immediate, none-prio, broken)")
+			"comma-separated protocols to check (also: "+strings.Join(extraProtocols(), ", ")+")")
 		trials   = fs.Int("trials", 25, "random task sets per protocol")
 		seed     = fs.Int64("seed", 1, "base seed sharding all trial seeds")
 		workers  = fs.Int("workers", 0, "worker goroutines (0 = all CPUs); never affects results")
@@ -160,6 +160,23 @@ func writeReport(path string, rep *conformance.Report) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// extraProtocols lists the checkable protocols outside the default
+// set, derived from the conformance registry so the help text never
+// goes stale.
+func extraProtocols() []string {
+	inDefault := make(map[string]bool, len(conformance.DefaultProtocols))
+	for _, p := range conformance.DefaultProtocols {
+		inDefault[p] = true
+	}
+	var out []string
+	for _, p := range conformance.KnownProtocols {
+		if !inDefault[p] {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func splitList(s string) []string {

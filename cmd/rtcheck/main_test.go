@@ -23,8 +23,13 @@ func TestRunCleanProtocols(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errw.String(), out.String())
 	}
-	if !strings.Contains(out.String(), "rtcheck: 15 trials, 0 failing") {
+	if !strings.Contains(out.String(), "rtcheck: 21 trials, 0 failing") {
 		t.Errorf("missing summary line in output:\n%s", out.String())
+	}
+	for _, proto := range []string{"msrp", "fmlp"} {
+		if !strings.Contains(out.String(), proto) {
+			t.Errorf("default run does not cover %s:\n%s", proto, out.String())
+		}
 	}
 }
 

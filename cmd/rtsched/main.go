@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rtsched -config system.json [-kind mpcp|dpcp] [-penalty] [-ceilings]
+//	rtsched -config system.json [-kind mpcp|dpcp|...] [-penalty] [-ceilings]
 package main
 
 import (
@@ -13,12 +13,23 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"mpcp/internal/analysis"
 	"mpcp/internal/ceiling"
 	"mpcp/internal/config"
+	"mpcp/internal/registry"
 	"mpcp/internal/task"
 )
+
+// explainKinds maps the registry protocols whose bounds come from the
+// internal/analysis factor engine — the only ones analysis.Explain can
+// narrate term-by-term — to that engine's configuration.
+var explainKinds = map[string]analysis.Options{
+	"mpcp":      {Kind: analysis.KindMPCP},
+	"dpcp":      {Kind: analysis.KindDPCP},
+	"mpcp-ceil": {Kind: analysis.KindMPCP, GcsAtCeiling: true},
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -31,7 +42,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rtsched", flag.ContinueOnError)
 	var (
 		configPath = fs.String("config", "", "path to the JSON workload description (required)")
-		kindName   = fs.String("kind", "mpcp", "analysis kind: mpcp or dpcp")
+		kindName   = fs.String("kind", "mpcp", "protocol whose blocking analysis to run: "+strings.Join(registry.Analyzable(), ", "))
 		penalty    = fs.Bool("penalty", true, "include the deferred-execution penalty")
 		ceilings   = fs.Bool("ceilings", false, "print the Section 4 priority structure")
 		explain    = fs.Int("explain", 0, "print a factor-by-factor explanation of this task's bound (MPCP)")
@@ -48,30 +59,27 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := analysis.Options{DeferredPenalty: *penalty}
-	switch *kindName {
-	case "mpcp":
-		opts.Kind = analysis.KindMPCP
-	case "dpcp":
-		opts.Kind = analysis.KindDPCP
-	default:
-		return fmt.Errorf("unknown kind %q", *kindName)
+	desc, ok := registry.Lookup(*kindName)
+	if !ok || !desc.Caps.HasBound {
+		return fmt.Errorf("unknown kind %q (analyzable protocols: %s)",
+			*kindName, strings.Join(registry.Analyzable(), ", "))
 	}
 
 	if *ceilings {
 		printCeilings(out, sys)
 	}
 
-	bounds, err := analysis.Bounds(sys, opts)
+	bounds, err := registry.Analyze(desc.Name, sys, registry.AnalyzeOpts{DeferredPenalty: *penalty})
 	if err != nil {
 		return err
 	}
+	opts := analysis.Options{DeferredPenalty: *penalty}
 	rep, err := analysis.Schedulability(sys, bounds, opts)
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(out, "analysis: %v   deferred penalty: %v\n\n", opts.Kind, *penalty)
+	fmt.Fprintf(out, "analysis: %s   deferred penalty: %v\n\n", desc.Name, *penalty)
 	fmt.Fprintf(out, "%-6s %-5s %-7s %-7s %-7s %-7s | %-6s %-6s %-6s %-6s %-6s %-7s | %-9s %-9s %-5s\n",
 		"task", "proc", "C", "T", "B", "B/T",
 		"f1", "f2", "f3", "f4", "f5", "penalty",
@@ -106,6 +114,12 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *explain != 0 {
+		kind, ok := explainKinds[desc.Name]
+		if !ok {
+			return fmt.Errorf("-explain supports the mpcp, mpcp-ceil and dpcp analyses, not %q", desc.Name)
+		}
+		opts.Kind = kind.Kind
+		opts.GcsAtCeiling = kind.GcsAtCeiling
 		text, err := analysis.Explain(sys, task.ID(*explain), opts)
 		if err != nil {
 			return err

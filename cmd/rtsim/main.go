@@ -58,7 +58,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	p, err := cli.ProtocolByName(*protoName)
+	p, err := cli.ResolveProtocolFor(*protoName, sys)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	rtsweep -utils 0.3,0.4,0.5,0.6,0.7 -protocols mpcp,dpcp -seeds 50 -sim
+//	rtsweep -utils 0.3,0.5,0.7 -protocols all -seeds 50
 //	rtsweep -spec sweep.json -workers 8 -out sweeps/acceptance.jsonl
 //	rtsweep -spec sweep.json -out sweeps/acceptance.jsonl -resume
 //	rtsweep -spec sweep.json -server http://127.0.0.1:7632 -out sweeps/acceptance.jsonl
@@ -35,6 +36,7 @@ import (
 	"mpcp/internal/dist"
 	"mpcp/internal/obs"
 	"mpcp/internal/obs/span"
+	"mpcp/internal/registry"
 )
 
 func main() {
@@ -57,7 +59,7 @@ func run(args []string, out, errw io.Writer) (int, error) {
 		specPath = fs.String("spec", "", "JSON campaign spec file (flags below override it)")
 
 		name      = fs.String("name", "", "campaign name")
-		protocols = fs.String("protocols", "", "comma-separated protocols: mpcp,dpcp,hybrid")
+		protocols = fs.String("protocols", "", "comma-separated protocols ("+strings.Join(registry.Analyzable(), ",")+") or \"all\"")
 		utils     = fs.String("utils", "", "comma-separated per-processor utilizations, e.g. 0.3,0.5,0.7")
 		procs     = fs.String("procs", "", "comma-separated processor counts")
 		tasks     = fs.String("tasks", "", "comma-separated tasks-per-processor counts")

@@ -25,6 +25,7 @@ import (
 	"mpcp/internal/config"
 	"mpcp/internal/obs"
 	"mpcp/internal/obs/span"
+	"mpcp/internal/registry"
 	"mpcp/internal/task"
 	"mpcp/internal/trace"
 )
@@ -45,7 +46,7 @@ func run(args []string, out io.Writer) error {
 		to         = fs.Int("to", 0, "last tick of the chart (0 = trace horizon)")
 		events     = fs.Bool("events", false, "print the event log")
 		blocking   = fs.Bool("blocking", false, "attribute every waiting tick to the Section 5.1 blocking taxonomy")
-		protoName  = fs.String("protocol", "", "with -blocking: compare measured blocking to this protocol's analytical bound (mpcp or dpcp)")
+		protoName  = fs.String("protocol", "", "with -blocking: compare measured blocking to this protocol's analytical bound ("+strings.Join(registry.Analyzable(), ", ")+")")
 		horizon    = fs.Int("horizon", 0, "simulated horizon in ticks (0 = one past the last trace record)")
 		metricsOut = fs.String("metrics", "", "write a metrics snapshot derived from the trace as JSON to this file")
 		timeline   = fs.Bool("timeline", false, "merge the span-stream JSONL files given as arguments into Chrome trace-event JSON (Perfetto)")
@@ -101,13 +102,9 @@ func run(args []string, out io.Writer) error {
 		}
 		var bounds map[task.ID]*analysis.Bound
 		if *protoName != "" {
-			kind, err := analysisKind(*protoName)
+			bounds, err = registry.Analyze(*protoName, sys, registry.AnalyzeOpts{DeferredPenalty: true})
 			if err != nil {
-				return err
-			}
-			bounds, err = analysis.Bounds(sys, analysis.Options{Kind: kind, DeferredPenalty: true})
-			if err != nil {
-				return err
+				return fmt.Errorf("-protocol: %w", err)
 			}
 		}
 		printBlocking(out, rep, bounds)
@@ -195,17 +192,6 @@ func loadTrace(path string) (*trace.Log, error) {
 		return trace.ReadStream(strings.NewReader(string(data)))
 	}
 	return trace.ReadJSON(strings.NewReader(string(data)))
-}
-
-func analysisKind(name string) (analysis.Kind, error) {
-	switch name {
-	case "mpcp":
-		return analysis.KindMPCP, nil
-	case "dpcp":
-		return analysis.KindDPCP, nil
-	default:
-		return 0, fmt.Errorf("-protocol %q: analytical bounds exist for mpcp and dpcp", name)
-	}
 }
 
 func printBlocking(out io.Writer, rep *obs.Report, bounds map[task.ID]*analysis.Bound) {

@@ -168,6 +168,12 @@ func interferes(w int, tj *task.Task) int {
 	return ceilDiv(w+tj.Jitter, tj.EffectiveMinInterarrival())
 }
 
+// Interferes exposes the interference bound to protocol-specific
+// analyses outside this package (internal/msrp, internal/fmlp), so
+// every registered analysis shares the same jitter-aware arrival curve
+// and inherits its monotonicity property.
+func Interferes(w int, tj *task.Task) int { return interferes(w, tj) }
+
 // mpcpBounds implements the five factors of Section 5.1.
 func mpcpBounds(sys *task.System, opts Options) map[task.ID]*Bound {
 	tbl := ceiling.Compute(sys, opts.GcsAtCeiling)

@@ -4,10 +4,8 @@ import (
 	"fmt"
 
 	"mpcp/internal/analysis"
-	"mpcp/internal/core"
-	"mpcp/internal/dpcp"
-	"mpcp/internal/hybrid"
 	"mpcp/internal/obs"
+	"mpcp/internal/registry"
 	"mpcp/internal/sim"
 	"mpcp/internal/task"
 	"mpcp/internal/workload"
@@ -105,42 +103,19 @@ func runPoint(spec *Spec, pt Point, reg *obs.Registry) (res *PointResult) {
 }
 
 // pointBounds computes the per-task blocking bounds for the point's
-// protocol.
+// protocol via the registry. RemoteSems only matters to the hybrid
+// protocol; every other analysis ignores it.
 func pointBounds(spec *Spec, pt Point, sys *task.System) (map[task.ID]*analysis.Bound, error) {
-	switch pt.Protocol {
-	case ProtoMPCP:
-		return analysis.Bounds(sys, analysis.Options{
-			Kind:            analysis.KindMPCP,
-			DeferredPenalty: spec.DeferredPenalty,
-		})
-	case ProtoDPCP:
-		return analysis.Bounds(sys, analysis.Options{
-			Kind:            analysis.KindDPCP,
-			DeferredPenalty: spec.DeferredPenalty,
-		})
-	case ProtoHybrid:
-		return analysis.HybridBounds(sys, analysis.HybridOptions{
-			Remote:          spec.RemoteSems(),
-			DeferredPenalty: spec.DeferredPenalty,
-		})
-	default:
-		return nil, fmt.Errorf("campaign: unknown protocol %q", pt.Protocol)
-	}
+	return registry.Analyze(pt.Protocol, sys, registry.AnalyzeOpts{
+		DeferredPenalty: spec.DeferredPenalty,
+		RemoteSems:      spec.RemoteSems(),
+	})
 }
 
 // simProtocol builds the simulator protocol matching the point's
 // analysis.
 func simProtocol(spec *Spec, pt Point) (sim.Protocol, error) {
-	switch pt.Protocol {
-	case ProtoMPCP:
-		return core.New(core.Options{}), nil
-	case ProtoDPCP:
-		return dpcp.New(dpcp.Options{}), nil
-	case ProtoHybrid:
-		return hybrid.New(hybrid.Options{Remote: spec.RemoteSems()}), nil
-	default:
-		return nil, fmt.Errorf("campaign: unknown protocol %q", pt.Protocol)
-	}
+	return registry.New(pt.Protocol, registry.Opts{RemoteSems: spec.RemoteSems()})
 }
 
 // simTrial runs one confirmation simulation under the point's tick

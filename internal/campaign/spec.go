@@ -21,14 +21,15 @@ import (
 	"hash/fnv"
 	"strings"
 
+	"mpcp/internal/registry"
 	"mpcp/internal/task"
 	"mpcp/internal/workload"
 )
 
-// Protocol names accepted by Spec.Protocols. "mpcp" and "dpcp" use the
-// Section 5.1 / 5.2 blocking bounds; "hybrid" uses the composed bounds of
-// analysis.HybridBounds with every second global semaphore handled
-// message-based (see RemoteSems).
+// Canonical names of the original campaign protocols, kept for
+// callers that build specs in code. Spec.Protocols accepts any
+// registry protocol with an analytical bound (registry.Analyzable),
+// plus the keyword "all", which expands to that whole set.
 const (
 	ProtoMPCP   = "mpcp"
 	ProtoDPCP   = "dpcp"
@@ -49,7 +50,9 @@ type Spec struct {
 	// SeedsPerPoint is the number of random task sets per point.
 	SeedsPerPoint int `json:"seeds_per_point"`
 
-	// Axes. Empty slices default to a single baseline value.
+	// Axes. Empty slices default to a single baseline value. Protocols
+	// accepts any registry name with an analytical bound; the keyword
+	// "all" expands to every such protocol.
 	Protocols    []string  `json:"protocols"`
 	Utils        []float64 `json:"utils"`
 	Procs        []int     `json:"procs"`
@@ -143,6 +146,7 @@ func (s *Spec) FillDefaults() {
 	if len(s.Protocols) == 0 {
 		s.Protocols = d.Protocols
 	}
+	s.Protocols = expandProtocols(s.Protocols)
 	if len(s.Utils) == 0 {
 		s.Utils = d.Utils
 	}
@@ -178,6 +182,28 @@ func (s *Spec) FillDefaults() {
 	}
 }
 
+// expandProtocols canonicalizes the protocol axis through the
+// registry: the keyword "all" expands to every analyzable protocol,
+// aliases collapse to their canonical names (so point keys — and with
+// them trial seeds and result-cache fingerprints — never depend on
+// the spelling used in the spec), and unknown names pass through for
+// Validate to reject with the full registry listing.
+func expandProtocols(protos []string) []string {
+	out := make([]string, 0, len(protos))
+	for _, p := range protos {
+		if strings.EqualFold(p, "all") {
+			out = append(out, registry.Analyzable()...)
+			continue
+		}
+		if d, ok := registry.Lookup(p); ok {
+			out = append(out, d.Name)
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 // Validate rejects specs whose points could not all be generated. Every
 // point's workload config is checked up front so a campaign cannot fail
 // late on a malformed corner of the grid.
@@ -186,11 +212,10 @@ func (s *Spec) Validate() error {
 		return errors.New("campaign: SeedsPerPoint must be positive")
 	}
 	for _, p := range s.Protocols {
-		switch p {
-		case ProtoMPCP, ProtoDPCP, ProtoHybrid:
-		default:
-			return fmt.Errorf("campaign: unknown protocol %q (choose from: %s, %s, %s)",
-				p, ProtoMPCP, ProtoDPCP, ProtoHybrid)
+		caps, ok := registry.CapsFor(p)
+		if !ok || !caps.HasBound {
+			return fmt.Errorf("campaign: unknown or unanalyzable protocol %q (choose from: %s, or \"all\")",
+				p, strings.Join(registry.Analyzable(), ", "))
 		}
 	}
 	for _, pt := range s.Points() {

@@ -2,45 +2,37 @@
 package cli
 
 import (
-	"fmt"
 	"strings"
 
-	"mpcp/internal/core"
-	"mpcp/internal/dpcp"
-	"mpcp/internal/pcp"
-	"mpcp/internal/proto"
+	"mpcp/internal/registry"
 	"mpcp/internal/sim"
+	"mpcp/internal/task"
 )
 
-// ProtocolNames lists the accepted -protocol values.
-const ProtocolNames = "mpcp, mpcp-spin, mpcp-fifo, mpcp-ceil, dpcp, pcp, pcp-immediate, none, none-prio, inherit"
+// ProtocolNames lists the accepted -protocol values, derived from the
+// protocol registry.
+var ProtocolNames = strings.Join(registry.Names(), ", ")
+
+// ResolveProtocolFor builds a protocol from its command-line name via
+// the registry. sys, when available, lets workload-dependent defaults
+// apply (the hybrid protocol derives its message-based semaphore split
+// from it); pass nil when no system is at hand. Unknown names produce
+// an error listing every registered protocol.
+func ResolveProtocolFor(name string, sys *task.System) (sim.Protocol, error) {
+	return registry.New(name, registry.Opts{Sys: sys})
+}
+
+// ResolveProtocol builds a protocol from its command-line name with no
+// workload context.
+func ResolveProtocol(name string) (sim.Protocol, error) {
+	return ResolveProtocolFor(name, nil)
+}
 
 // ProtocolByName builds a protocol from its command-line name.
+//
+// Deprecated: use ResolveProtocol (or ResolveProtocolFor when a
+// validated system is available). Kept as an alias so existing callers
+// keep working; resolution is registry-backed either way.
 func ProtocolByName(name string) (sim.Protocol, error) {
-	switch strings.ToLower(name) {
-	case "mpcp", "":
-		return core.New(core.Options{}), nil
-	case "mpcp-spin":
-		return core.New(core.Options{Wait: core.Spin}), nil
-	case "mpcp-fifo":
-		return core.New(core.Options{FIFOQueues: true}), nil
-	case "mpcp-ceil":
-		return core.New(core.Options{GcsAtCeiling: true}), nil
-	case "mpcp-nested":
-		return core.New(core.Options{AllowNestedGlobal: true}), nil
-	case "dpcp":
-		return dpcp.New(dpcp.Options{}), nil
-	case "pcp":
-		return pcp.New(), nil
-	case "pcp-immediate":
-		return pcp.NewImmediate(), nil
-	case "none":
-		return proto.NewNone(proto.FIFOOrder), nil
-	case "none-prio":
-		return proto.NewNone(proto.PriorityOrder), nil
-	case "inherit":
-		return proto.NewInherit(), nil
-	default:
-		return nil, fmt.Errorf("unknown protocol %q (choose from: %s)", name, ProtocolNames)
-	}
+	return ResolveProtocol(name)
 }

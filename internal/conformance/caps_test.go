@@ -1,0 +1,118 @@
+package conformance
+
+import (
+	"testing"
+
+	"mpcp/internal/task"
+)
+
+// TestCapabilityGatingMatchesHistoricalLists pins the capability-derived
+// oracle applicability to the hand-maintained per-protocol exemption
+// lists the oracles carried before the registry existed. For every
+// pre-registry protocol the gating must match those lists exactly; a
+// capability edit that silently widens or narrows an oracle's scope for
+// an old protocol fails here.
+func TestCapabilityGatingMatchesHistoricalLists(t *testing.T) {
+	multi := task.NewSystem(2) // applies() only reads NumProcs and release variance
+	uni := task.NewSystem(1)
+
+	oldProtocols := []string{
+		"mpcp", "mpcp-spin", "mpcp-fifo", "mpcp-ceil", "dpcp", "hybrid",
+		"pcp", "pcp-immediate", "none", "none-prio", "inherit", "broken",
+	}
+	// The pre-registry name lists, verbatim.
+	historical := map[string]map[string]bool{
+		"gcs-preemption": {"mpcp": true, "mpcp-ceil": true, "dpcp": true, "hybrid": true},
+		"deadlock-free": {"mpcp": true, "mpcp-spin": true, "mpcp-fifo": true, "mpcp-ceil": true,
+			"dpcp": true, "hybrid": true, "pcp": true, "pcp-immediate": true},
+		"bound-soundness":           {"mpcp": true, "mpcp-ceil": true, "dpcp": true, "hybrid": true},
+		"interarrival-monotonicity": {"mpcp": true, "mpcp-ceil": true, "dpcp": true, "hybrid": true},
+		"baseline-dominance":        {"none": true, "none-prio": true},
+		"abort-past-deadline": {"mpcp": true, "mpcp-fifo": true, "mpcp-ceil": true, "pcp": true,
+			"pcp-immediate": true, "none": true, "none-prio": true, "inherit": true},
+		"scale-invariance": {"mpcp": true, "mpcp-spin": true, "mpcp-fifo": true, "mpcp-ceil": true,
+			"dpcp": true, "hybrid": true, "pcp": true, "pcp-immediate": true,
+			"none": true, "none-prio": true, "inherit": true},
+	}
+	for oracleName, want := range historical {
+		o := oracleByName(oracleName)
+		if o == nil {
+			t.Fatalf("oracle %q vanished from the catalog", oracleName)
+		}
+		for _, p := range oldProtocols {
+			if got := o.applies(p, multi); got != want[p] {
+				t.Errorf("%s applies to %s = %v, want %v (historical list)", oracleName, p, got, want[p])
+			}
+		}
+	}
+
+	// Processor-shape-dependent oracles, checked on both shapes.
+	renaming := oracleByName("proc-renaming")
+	for _, p := range oldProtocols {
+		want := (p == "mpcp" || p == "mpcp-ceil" || p == "dpcp")
+		if got := renaming.applies(p, multi); got != want {
+			t.Errorf("proc-renaming applies to %s on 2 procs = %v, want %v", p, got, want)
+		}
+		if renaming.applies(p, uni) {
+			t.Errorf("proc-renaming must never apply on a uniprocessor (%s)", p)
+		}
+	}
+	reduction := oracleByName("pcp-reduction")
+	for _, p := range oldProtocols {
+		if got := reduction.applies(p, uni); got != (p == "pcp") {
+			t.Errorf("pcp-reduction applies to %s on 1 proc = %v, want %v", p, got, p == "pcp")
+		}
+		if reduction.applies(p, multi) {
+			t.Errorf("pcp-reduction must never apply on a multiprocessor (%s)", p)
+		}
+	}
+}
+
+// TestSpinProtocolGating: the capability records of the new spin
+// protocols gate the oracles as designed — spinning exempts the
+// abort-past-deadline oracle, FMLP+'s tick-count cutoff exempts scale
+// invariance, and both are held to the boosting, deadlock and bound
+// oracles.
+func TestSpinProtocolGating(t *testing.T) {
+	multi := task.NewSystem(2)
+	expect := map[string]map[string]bool{
+		"msrp": {
+			"gcs-preemption": true, "deadlock-free": true, "bound-soundness": true,
+			"interarrival-monotonicity": true, "scale-invariance": true,
+			"abort-past-deadline": false, "proc-renaming": false, "baseline-dominance": false,
+		},
+		"fmlp": {
+			"gcs-preemption": true, "deadlock-free": true, "bound-soundness": true,
+			"interarrival-monotonicity": true, "scale-invariance": false,
+			"abort-past-deadline": false, "proc-renaming": false, "baseline-dominance": false,
+		},
+	}
+	for proto, oracles := range expect {
+		for oracleName, want := range oracles {
+			o := oracleByName(oracleName)
+			if o == nil {
+				t.Fatalf("oracle %q vanished from the catalog", oracleName)
+			}
+			if got := o.applies(proto, multi); got != want {
+				t.Errorf("%s applies to %s = %v, want %v", oracleName, proto, got, want)
+			}
+		}
+	}
+}
+
+// TestAccountingTightness: the tick-accounting upper bound applies
+// exactly to the protocols that neither spin nor use agents, matching
+// the pre-registry exemption list plus the new spin protocols.
+func TestAccountingTightness(t *testing.T) {
+	loose := map[string]bool{
+		"dpcp": true, "hybrid": true, "mpcp-spin": true, // historical list
+		"msrp": true, "fmlp": true, // spin-lock zoo
+	}
+	for _, p := range append([]string{}, KnownProtocols...) {
+		caps := capsFor(p)
+		tight := !caps.Spins && !caps.UsesAgents
+		if tight == loose[p] {
+			t.Errorf("%s: accounting tight=%v, want %v", p, tight, !loose[p])
+		}
+	}
+}

@@ -23,7 +23,7 @@ import (
 
 	"mpcp/internal/campaign"
 	"mpcp/internal/cli"
-	"mpcp/internal/hybrid"
+	"mpcp/internal/registry"
 	"mpcp/internal/sim"
 	"mpcp/internal/task"
 	"mpcp/internal/workload"
@@ -32,18 +32,15 @@ import (
 // DefaultProtocols is the protocol set rtcheck exercises by default: one
 // representative per constructor family of protocols.go (shared-memory
 // MPCP, distributed DPCP, uniprocessor PCP, raw semaphores, priority
-// inheritance).
-var DefaultProtocols = []string{"mpcp", "dpcp", "pcp", "none", "inherit"}
+// inheritance, and the spin-lock protocols MSRP and FMLP+).
+var DefaultProtocols = []string{"mpcp", "dpcp", "pcp", "none", "inherit", "msrp", "fmlp"}
 
-// KnownProtocols lists every accepted protocol name, including the
-// ablation variants and the deliberately faulty "broken" protocol used to
-// validate the harness itself (it grants every lock immediately, so the
-// mutual-exclusion oracle must catch it).
-var KnownProtocols = []string{
-	"mpcp", "mpcp-spin", "mpcp-fifo", "mpcp-ceil",
-	"dpcp", "hybrid", "pcp", "pcp-immediate",
-	"none", "none-prio", "inherit", "broken",
-}
+// KnownProtocols lists every accepted protocol name: the visible
+// protocol registry plus the deliberately faulty "broken" protocol used
+// to validate the harness itself (it grants every lock immediately, so
+// the mutual-exclusion oracle must catch it). New registry entries show
+// up here — and in every oracle's applicability gate — automatically.
+var KnownProtocols = append(registry.Names(), "broken")
 
 // Options tunes a conformance run.
 type Options struct {
@@ -127,16 +124,18 @@ func TrialSeed(base int64, protocol string, trial int) int64 {
 	return seed
 }
 
-// BaseWorkload returns the default workload shape for one protocol: the
-// uniprocessor protocols get a single-processor, local-semaphore-only
-// shape (so the PCP reduction oracle applies), the distributed protocols
-// a lighter utilization (so the analysis admits some sets and the bound-
+// BaseWorkload returns the default workload shape for one protocol,
+// chosen by its registered capabilities: uniprocessor-only protocols
+// get a single-processor, local-semaphore-only shape (so the PCP
+// reduction oracle applies), agent-based protocols a lighter
+// utilization (so the analysis admits some sets and the bound-
 // soundness oracle is non-vacuous), everything else the 3x3 multiproc
-// shape of the historical sim property tests. Staggered offsets alternate
-// by seed so both synchronous and colliding release patterns appear, and
-// the release model cycles by seed through periodic, sporadic and
-// jittered so every protocol's oracles also run against seed-drawn
-// release sequences (the variance-sensitive oracles gate themselves).
+// shape of the historical sim property tests. Staggered offsets
+// alternate by seed so both synchronous and colliding release patterns
+// appear, and the release model cycles by seed through periodic,
+// sporadic and jittered so every protocol's oracles also run against
+// seed-drawn release sequences (the variance-sensitive oracles gate
+// themselves).
 func BaseWorkload(protocol string, seed int64) workload.Config {
 	cfg := workload.Default(seed)
 	switch seed % 3 {
@@ -145,8 +144,9 @@ func BaseWorkload(protocol string, seed int64) workload.Config {
 	case 2:
 		cfg.MaxJitterFrac = 0.1
 	}
-	switch protocol {
-	case "pcp", "pcp-immediate":
+	caps := capsFor(protocol)
+	switch {
+	case caps.UniprocOnly:
 		cfg.NumProcs = 1
 		cfg.TasksPerProc = 5
 		cfg.UtilPerProc = 0.6
@@ -155,7 +155,7 @@ func BaseWorkload(protocol string, seed int64) workload.Config {
 		cfg.GcsPerTask = [2]int{0, 0}
 		cfg.LcsPerTask = [2]int{1, 2}
 		cfg.Stagger = true
-	case "dpcp", "hybrid":
+	case caps.UsesAgents:
 		cfg.NumProcs = 3
 		cfg.TasksPerProc = 3
 		cfg.UtilPerProc = 0.35
@@ -169,34 +169,25 @@ func BaseWorkload(protocol string, seed int64) workload.Config {
 	return cfg
 }
 
-// makeProtocol builds a fresh protocol instance (protocol state is
-// per-run). The hybrid protocol needs the system to derive its remote
-// semaphore split; everything else resolves through the shared CLI
-// registry.
-func makeProtocol(name string, sys *task.System) (sim.Protocol, error) {
-	switch name {
-	case "hybrid":
-		return hybrid.New(hybrid.Options{Remote: remoteSems(sys)}), nil
-	case "broken":
-		return brokenProtocol{}, nil
-	default:
-		return cli.ProtocolByName(name)
-	}
+// capsFor returns the registered capabilities of a protocol. The
+// harness-only "broken" protocol is not in the registry and claims no
+// capabilities, which exempts it from every capability-gated oracle
+// exactly as the old hand-maintained lists did.
+func capsFor(protocol string) registry.Caps {
+	caps, _ := registry.CapsFor(protocol) // unknown (e.g. "broken") -> zero caps
+	return caps
 }
 
-// remoteSems returns the hybrid protocol's message-based semaphore set:
-// every even-numbered global semaphore, matching campaign.Spec.RemoteSems
-// (workload generation numbers global semaphores first).
-func remoteSems(sys *task.System) map[task.SemID]bool {
-	out := make(map[task.SemID]bool)
-	for _, t := range sys.Tasks {
-		for _, cs := range sys.CriticalSections(t.ID) {
-			if cs.Global && cs.Sem%2 == 0 {
-				out[cs.Sem] = true
-			}
-		}
+// makeProtocol builds a fresh protocol instance (protocol state is
+// per-run) through the registry; the system lets workload-dependent
+// defaults apply (the hybrid protocol derives its remote semaphore
+// split from it). Only the deliberately faulty harness protocol lives
+// outside the registry.
+func makeProtocol(name string, sys *task.System) (sim.Protocol, error) {
+	if name == "broken" {
+		return brokenProtocol{}, nil
 	}
-	return out
+	return cli.ResolveProtocolFor(name, sys)
 }
 
 func knownProtocol(name string) bool {

@@ -7,6 +7,7 @@ import (
 
 	"mpcp/internal/analysis"
 	"mpcp/internal/obs"
+	"mpcp/internal/registry"
 	"mpcp/internal/sim"
 	"mpcp/internal/task"
 	"mpcp/internal/trace"
@@ -91,15 +92,6 @@ func oracleByName(name string) *oracle {
 	return nil
 }
 
-func isOneOf(p string, set ...string) bool {
-	for _, s := range set {
-		if p == s {
-			return true
-		}
-	}
-	return false
-}
-
 func anyProtocol(string, *task.System) bool { return true }
 
 func nonBroken(p string, _ *task.System) bool { return p != "broken" }
@@ -108,6 +100,11 @@ func nonBroken(p string, _ *task.System) bool { return p != "broken" }
 // first so a simulation failure surfaces once instead of as a cascade of
 // secondary violations (later oracles return nothing when the primary run
 // errored).
+//
+// Applicability is derived from the registry's capability records, not
+// from per-protocol name lists: a protocol that declares a capability is
+// held to the corresponding oracle, one that does not is exempt. The
+// harness-only "broken" protocol claims no capabilities.
 func catalog() []oracle {
 	return []oracle{
 		{name: "run", applies: anyProtocol, check: checkRun},
@@ -116,40 +113,43 @@ func catalog() []oracle {
 		{name: "invariants", applies: anyProtocol, check: checkInvariants},
 		{name: "gcs-preemption",
 			applies: func(p string, _ *task.System) bool {
-				return isOneOf(p, "mpcp", "mpcp-ceil", "dpcp", "hybrid")
+				return capsFor(p).GcsPreemptionFree
 			},
 			check: checkGcsPreemption},
 		{name: "deadlock-free",
 			applies: func(p string, _ *task.System) bool {
-				return isOneOf(p, "mpcp", "mpcp-spin", "mpcp-fifo", "mpcp-ceil",
-					"dpcp", "hybrid", "pcp", "pcp-immediate")
+				return capsFor(p).DeadlockFree
 			},
 			check: checkDeadlockFree},
 		{name: "accounting", applies: anyProtocol, check: checkAccounting},
 		{name: "attribution", applies: nonBroken, check: checkAttribution},
 		{name: "bound-soundness",
 			applies: func(p string, _ *task.System) bool {
-				return isOneOf(p, "mpcp", "mpcp-ceil", "dpcp", "hybrid")
+				return capsFor(p).HasBound
 			},
 			check: checkBoundSoundness},
 		{name: "baseline-dominance",
-			applies: func(p string, _ *task.System) bool { return isOneOf(p, "none", "none-prio") },
+			applies: func(p string, _ *task.System) bool { return capsFor(p).Baseline },
 			check:   checkBaselineDominance},
 		{name: "pcp-reduction",
-			applies: func(p string, sys *task.System) bool { return p == "pcp" && sys.NumProcs == 1 },
-			check:   checkPCPReduction},
+			applies: func(p string, sys *task.System) bool {
+				return capsFor(p).PCPReduction && sys.NumProcs == 1
+			},
+			check: checkPCPReduction},
 		// Integer release draws do not commute with uniform time scaling
 		// (a gap drawn from [min, 2P-min] is not k times the gap drawn from
 		// [k*min, 2kP-k*min]), so scale invariance only holds for systems on
-		// the fixed periodic calendar.
+		// the fixed periodic calendar — and only for protocols whose
+		// decisions are independent of absolute tick durations.
 		{name: "scale-invariance",
 			applies: func(p string, sys *task.System) bool {
-				return p != "broken" && !sys.HasReleaseVariance()
+				return p != "broken" && !capsFor(p).TickScaleDependent &&
+					!sys.HasReleaseVariance()
 			},
 			check: checkScaleInvariance},
 		{name: "proc-renaming",
 			applies: func(p string, sys *task.System) bool {
-				return isOneOf(p, "mpcp", "mpcp-ceil", "dpcp") && sys.NumProcs > 1
+				return capsFor(p).RenameInvariant && sys.NumProcs > 1
 			},
 			check: checkProcRenaming},
 		{name: "periodic-degeneracy",
@@ -159,16 +159,17 @@ func catalog() []oracle {
 			check: checkPeriodicDegeneracy},
 		{name: "interarrival-monotonicity",
 			applies: func(p string, _ *task.System) bool {
-				return isOneOf(p, "mpcp", "mpcp-ceil", "dpcp", "hybrid")
+				return capsFor(p).HasBound
 			},
 			check: checkInterarrivalMonotonicity},
 		// Remote agents (dpcp, hybrid) execute on behalf of suspended jobs
 		// and spinning jobs burn processor ticks while waiting, so "no
 		// execution past the deadline" is only a theorem for the suspension-
-		// based local protocols.
+		// based local protocols — SupportsOverloadAbort encodes exactly
+		// that.
 		{name: "abort-past-deadline",
 			applies: func(p string, _ *task.System) bool {
-				return !isOneOf(p, "dpcp", "hybrid", "mpcp-spin", "broken")
+				return capsFor(p).SupportsOverloadAbort
 			},
 			check: checkAbortPastDeadline},
 	}
@@ -304,7 +305,8 @@ func checkAccounting(c *trialCtx) []string {
 	// the processor beyond the job's computation, so protocols with
 	// agents or busy-waiting can exceed released*WCET on the home
 	// accounting; only the lower bound applies to them.
-	tight := !isOneOf(c.protocol, "dpcp", "hybrid", "mpcp-spin")
+	caps := capsFor(c.protocol)
+	tight := !caps.Spins && !caps.UsesAgents
 
 	execTicks := make(map[task.ID]int)
 	type cell struct {
@@ -389,23 +391,13 @@ func checkAttribution(c *trialCtx) []string {
 	return out
 }
 
-// analysisBounds computes the blocking bounds matching the protocol,
-// with the deferred-execution penalty charged (the sound configuration).
-// The renamed map, when non-nil, pins DPCP synchronization processors so
-// the renaming oracle compares a true symmetry.
+// analysisBounds computes the blocking bounds registered for the
+// protocol, with the deferred-execution penalty charged (the sound
+// configuration). The assign map, when non-nil, pins DPCP
+// synchronization processors so the renaming oracle compares a true
+// symmetry.
 func analysisBounds(protocol string, sys *task.System, assign map[task.SemID]task.ProcID) (map[task.ID]*analysis.Bound, error) {
-	switch protocol {
-	case "mpcp":
-		return analysis.Bounds(sys, analysis.Options{Kind: analysis.KindMPCP, DeferredPenalty: true})
-	case "mpcp-ceil":
-		return analysis.Bounds(sys, analysis.Options{Kind: analysis.KindMPCP, GcsAtCeiling: true, DeferredPenalty: true})
-	case "dpcp":
-		return analysis.Bounds(sys, analysis.Options{Kind: analysis.KindDPCP, DeferredPenalty: true, DPCPAssign: assign})
-	case "hybrid":
-		return analysis.HybridBounds(sys, analysis.HybridOptions{Remote: remoteSems(sys), DeferredPenalty: true})
-	default:
-		return nil, fmt.Errorf("no analysis for protocol %q", protocol)
-	}
+	return registry.Analyze(protocol, sys, registry.AnalyzeOpts{DeferredPenalty: true, DPCPAssign: assign})
 }
 
 // checkBoundSoundness is the central differential oracle: when the

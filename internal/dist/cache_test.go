@@ -70,6 +70,34 @@ func TestCacheVersionBump(t *testing.T) {
 	}
 }
 
+// TestCacheEngineVersionPin: the registry-era engine is version "2" —
+// results cached by the pre-registry engine ("1") are orphaned, and
+// any semantics-changing engine edit must bump this again.
+func TestCacheEngineVersionPin(t *testing.T) {
+	if EngineVersion != "2" {
+		t.Fatalf("EngineVersion = %q, want \"2\" (bump this pin deliberately with the const)", EngineVersion)
+	}
+}
+
+// TestCacheKeyProtocolScope: the registry protocol name reaches the
+// sweep fingerprint through the point, so entries for the new spin
+// protocols can never collide with suspension-protocol entries at the
+// same grid coordinates.
+func TestCacheKeyProtocolScope(t *testing.T) {
+	spec := testSpec()
+	spec.Protocols = []string{"mpcp", "msrp", "fmlp"}
+	spec.FillDefaults()
+	pts := spec.Points()
+	seen := make(map[string]string)
+	for _, pt := range pts {
+		key := sweepCacheKey(spec, pt, EngineVersion)
+		if prev, dup := seen[key]; dup {
+			t.Errorf("points %s and %s share a cache key", prev, pt.Key)
+		}
+		seen[key] = pt.Key
+	}
+}
+
 // TestCacheKeyScope: the key covers every input that reaches a point's
 // result and none that don't — sibling axis values in particular, so
 // overlapping grids from different campaigns share entries.

@@ -40,7 +40,11 @@ import (
 // for cache addressing. It is part of every unit's content address, so
 // bumping it after a semantics-changing engine commit invalidates every
 // stale cache entry instead of serving it.
-const EngineVersion = "1"
+//
+// History: "1" pre-registry engine; "2" protocol registry with the
+// spin-lock protocols (msrp, fmlp) and registry-canonicalized campaign
+// protocol names.
+const EngineVersion = "2"
 
 // Job kinds understood by the default runner registry.
 const (

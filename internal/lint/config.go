@@ -109,6 +109,8 @@ func DefaultSuite() []Scoped {
 				"mpcp/internal/dpcp",
 				"mpcp/internal/hybrid",
 				"mpcp/internal/core",
+				"mpcp/internal/msrp",
+				"mpcp/internal/fmlp",
 			},
 		},
 		{

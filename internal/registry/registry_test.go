@@ -1,0 +1,185 @@
+package registry_test
+
+import (
+	"strings"
+	"testing"
+
+	"mpcp/internal/registry"
+	"mpcp/internal/workload"
+)
+
+// TestDescriptorTableWellFormed: names and aliases are unique
+// (case-insensitively), every descriptor has a constructor, and
+// Analyze is present exactly when HasBound is claimed.
+func TestDescriptorTableWellFormed(t *testing.T) {
+	seen := make(map[string]string)
+	claim := func(name, owner string) {
+		n := strings.ToLower(name)
+		if prev, dup := seen[n]; dup {
+			t.Errorf("name %q of %s collides with %s", name, owner, prev)
+		}
+		seen[n] = owner
+	}
+	for _, d := range registry.All() {
+		if d.Name == "" || d.Summary == "" {
+			t.Errorf("descriptor %+v missing name or summary", d)
+		}
+		claim(d.Name, d.Name)
+		for _, a := range d.Aliases {
+			claim(a, d.Name)
+		}
+		if d.New == nil {
+			t.Errorf("%s: nil constructor", d.Name)
+		}
+		if d.Caps.HasBound != (d.Analyze != nil) {
+			t.Errorf("%s: HasBound=%v but Analyze nil=%v — the capability must match the field",
+				d.Name, d.Caps.HasBound, d.Analyze == nil)
+		}
+	}
+}
+
+// TestEveryDescriptorConstructs: New succeeds for every registered
+// protocol, visible or hidden, with and without a system in Opts.
+func TestEveryDescriptorConstructs(t *testing.T) {
+	cfg := workload.Default(5)
+	cfg.NumProcs = 3
+	cfg.TasksPerProc = 3
+	cfg.UtilPerProc = 0.4
+	sys, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range registry.All() {
+		for _, opts := range []registry.Opts{{}, {Sys: sys}} {
+			p, err := registry.New(d.Name, opts)
+			if err != nil {
+				t.Errorf("New(%q, sys=%v): %v", d.Name, opts.Sys != nil, err)
+				continue
+			}
+			if p == nil {
+				t.Errorf("New(%q) returned a nil protocol", d.Name)
+			}
+		}
+	}
+}
+
+// TestAnalyzableDescriptorsAnalyze: every protocol claiming a bound
+// produces one for every task of a multiprocessor workload.
+func TestAnalyzableDescriptorsAnalyze(t *testing.T) {
+	cfg := workload.Default(5)
+	cfg.NumProcs = 3
+	cfg.TasksPerProc = 3
+	cfg.UtilPerProc = 0.4
+	sys, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range registry.Analyzable() {
+		bounds, err := registry.Analyze(name, sys, registry.AnalyzeOpts{DeferredPenalty: true})
+		if err != nil {
+			t.Errorf("Analyze(%q): %v", name, err)
+			continue
+		}
+		for _, tk := range sys.Tasks {
+			b := bounds[tk.ID]
+			if b == nil {
+				t.Errorf("Analyze(%q): task %d has no bound", name, tk.ID)
+				continue
+			}
+			if b.Total < 0 {
+				t.Errorf("Analyze(%q): task %d negative bound %d", name, tk.ID, b.Total)
+			}
+		}
+	}
+}
+
+// TestLookup: case-insensitive over names and aliases, empty string
+// defaults to mpcp, unknown names miss.
+func TestLookup(t *testing.T) {
+	cases := map[string]string{
+		"":              "mpcp",
+		"MPCP":          "mpcp",
+		"Msrp":          "msrp",
+		"FMLP+":         "fmlp",
+		"mpcp+SPIN":     "mpcp-spin",
+		"none(fifo)":    "none",
+		"mpcp-nested":   "mpcp-nested", // hidden but resolvable
+		"pcp-immediate": "pcp-immediate",
+	}
+	for in, want := range cases {
+		d, ok := registry.Lookup(in)
+		if !ok || d.Name != want {
+			t.Errorf("Lookup(%q) = %v, %v; want %s", in, d, ok, want)
+		}
+	}
+	if _, ok := registry.Lookup("nonesuch"); ok {
+		t.Error("Lookup accepted an unknown name")
+	}
+	if _, ok := registry.Lookup("broken"); ok {
+		t.Error("the conformance-harness 'broken' protocol must not be registered")
+	}
+}
+
+// TestNamesHideHidden: hidden descriptors resolve but are absent from
+// Names and Analyzable, so "-protocols all" never picks them up.
+func TestNamesHideHidden(t *testing.T) {
+	visible := make(map[string]bool)
+	for _, n := range registry.Names() {
+		visible[n] = true
+	}
+	for _, d := range registry.All() {
+		if d.Hidden == visible[d.Name] {
+			t.Errorf("%s: hidden=%v but in Names()=%v", d.Name, d.Hidden, visible[d.Name])
+		}
+	}
+	for _, n := range registry.Analyzable() {
+		if !visible[n] {
+			t.Errorf("Analyzable lists %s, which Names does not", n)
+		}
+		caps, ok := registry.CapsFor(n)
+		if !ok || !caps.HasBound {
+			t.Errorf("Analyzable lists %s without HasBound", n)
+		}
+	}
+}
+
+// TestErrorsListChoices: construction and analysis errors teach the
+// caller the registered names, replacing per-tool hardcoded lists.
+func TestErrorsListChoices(t *testing.T) {
+	if _, err := registry.New("nonesuch", registry.Opts{}); err == nil ||
+		!strings.Contains(err.Error(), "choose from") || !strings.Contains(err.Error(), "msrp") {
+		t.Errorf("New error does not list registered protocols: %v", err)
+	}
+	if _, err := registry.Analyze("mpcp-spin", nil, registry.AnalyzeOpts{}); err == nil ||
+		!strings.Contains(err.Error(), "analyzable") {
+		t.Errorf("Analyze error for a bound-less protocol does not list analyzable names: %v", err)
+	}
+}
+
+// TestSpinCapabilityPins: the spin-lock zoo declares exactly the
+// capabilities the conformance oracles key on — a regression here
+// silently changes which oracles run.
+func TestSpinCapabilityPins(t *testing.T) {
+	msrp, _ := registry.CapsFor("msrp")
+	fmlp, _ := registry.CapsFor("fmlp")
+	for name, caps := range map[string]registry.Caps{"msrp": msrp, "fmlp": fmlp} {
+		if !caps.Spins {
+			t.Errorf("%s must declare Spins", name)
+		}
+		if caps.SupportsOverloadAbort {
+			t.Errorf("%s: spinning jobs cannot honor abort-on-miss; SupportsOverloadAbort must be false", name)
+		}
+		if !caps.GcsPreemptionFree || !caps.DeadlockFree || !caps.HasBound {
+			t.Errorf("%s: missing GcsPreemptionFree/DeadlockFree/HasBound: %+v", name, caps)
+		}
+		if caps.RenameInvariant {
+			t.Errorf("%s: FIFO queues are not invariant under processor renaming", name)
+		}
+	}
+	if !fmlp.TickScaleDependent {
+		t.Error("fmlp's short/long cutoff is a tick count; TickScaleDependent must be set")
+	}
+	if msrp.TickScaleDependent {
+		t.Error("msrp has no tick-dependent decisions; TickScaleDependent must be unset")
+	}
+}

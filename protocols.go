@@ -3,8 +3,11 @@ package mpcp
 import (
 	"mpcp/internal/core"
 	"mpcp/internal/dpcp"
+	"mpcp/internal/fmlp"
+	"mpcp/internal/msrp"
 	"mpcp/internal/pcp"
 	"mpcp/internal/proto"
+	"mpcp/internal/registry"
 	"mpcp/internal/sim"
 )
 
@@ -98,3 +101,71 @@ func NoProtocolPrioQueues() *proto.None { return proto.NewNone(proto.PriorityOrd
 // applied across processors — bounded on uniprocessors, insufficient on
 // multiprocessors (Example 2).
 func PriorityInheritance() *proto.Inherit { return proto.NewInherit() }
+
+// MSRP returns the multiprocessor stack resource policy (Gai, Lipari
+// and Di Natale, RTSS 2001): jobs busy-wait non-preemptively in FIFO
+// order at busy global semaphores, so a global critical section is
+// never preempted and at most one request per processor is ever
+// queued.
+func MSRP() *msrp.Protocol { return msrp.New() }
+
+// FMLPOption configures the FMLP+ protocol.
+type FMLPOption func(*fmlp.Options)
+
+// WithShortMax sets the short/long cutoff in ticks: semaphores whose
+// longest critical section is at most n ticks are short (jobs spin),
+// the rest are long (jobs suspend and are priority-boosted on grant).
+// Zero keeps fmlp.DefaultShortMax.
+func WithShortMax(n int) FMLPOption {
+	return func(o *fmlp.Options) { o.ShortMax = n }
+}
+
+// FMLP returns the FIFO multiprocessor locking protocol in its FMLP+
+// form (Block et al., RTCSA 2007; Brandenburg's suspension-aware
+// refinement): short resources spin, long resources suspend, all
+// queues are FIFO.
+func FMLP(opts ...FMLPOption) *fmlp.Protocol {
+	var o fmlp.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return fmlp.New(o)
+}
+
+// ProtocolInfo describes one registered protocol: its canonical
+// command-line name, accepted aliases, a one-line summary and its
+// capability record. See docs/protocols.md for the capability table.
+type ProtocolInfo struct {
+	Name    string
+	Aliases []string
+	Summary string
+	Caps    ProtocolCaps
+}
+
+// ProtocolCaps re-exports the registry capability record.
+type ProtocolCaps = registry.Caps
+
+// Protocols lists every registered protocol (including hidden
+// variants) in registration order. NewProtocol accepts any listed name
+// or alias.
+func Protocols() []ProtocolInfo {
+	ds := registry.All()
+	out := make([]ProtocolInfo, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, ProtocolInfo{
+			Name:    d.Name,
+			Aliases: append([]string(nil), d.Aliases...),
+			Summary: d.Summary,
+			Caps:    d.Caps,
+		})
+	}
+	return out
+}
+
+// NewProtocol builds a protocol from its registry name or alias, as
+// the command-line tools do; sys (optional, may be nil) lets
+// workload-dependent defaults apply, e.g. the hybrid protocol's
+// message-based semaphore split.
+func NewProtocol(name string, sys *System) (Protocol, error) {
+	return registry.New(name, registry.Opts{Sys: sys})
+}
